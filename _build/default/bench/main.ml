@@ -1,0 +1,147 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Sections 2 and 6) through the experiments library and prints the rows
+   the paper reports.  Absolute numbers come from our simulator, so the
+   claim under test is the *shape*: who wins, by roughly what factor, and
+   where the crossovers fall.
+
+   Part 2 runs Bechamel micro-benchmarks of the substrate itself
+   (interpreter, compiler, ring network, caches, core models) so
+   performance regressions in the simulator are visible.
+
+   Set HELIX_BENCH_QUICK=1 to restrict part 1 to the CINT models. *)
+
+open Helix_ir
+open Helix_hcc
+open Helix_core
+open Helix_machine
+open Helix_workloads
+open Helix_experiments
+
+let quick = Sys.getenv_opt "HELIX_BENCH_QUICK" <> None
+
+let workloads = if quick then Registry.integer else Registry.all
+
+(* ---- part 1: the paper's tables and figures -------------------------- *)
+
+let part1 () =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "HELIX-RC evaluation reproduction (%s workload set)@."
+    (if quick then "CINT" else "full");
+  Fmt.pr "==================================================================@.";
+  Report.print (Fig1.report (Fig1.run ~workloads ()));
+  Report.print (Fig2.report (Fig2.run ()));
+  Report.print (Fig3.report (Fig3.run ()));
+  Report.print (Fig4.report (Fig4.run ()));
+  Report.print (Table1.report (Table1.run ~workloads ()));
+  Report.print (Fig7.report (Fig7.run ~workloads ()));
+  Report.print (Fig8.report (Fig8.run ()));
+  Report.print (Fig9.report (Fig9.run ()));
+  Report.print (Fig10.report (Fig10.run ()));
+  Report.print
+    (Fig11.report ~title:"Figure 11a: core count" (Fig11.core_count ()));
+  Report.print
+    (Fig11.report ~title:"Figure 11b: link latency" (Fig11.link_latency ()));
+  Report.print
+    (Fig11.report ~title:"Figure 11c: signal bandwidth"
+       (Fig11.signal_bandwidth ()));
+  Report.print
+    (Fig11.report ~title:"Figure 11d: node memory size" (Fig11.node_memory ()));
+  Report.print (Fig12.report (Fig12.run ~workloads ()));
+  Report.print (Tlp_study.report (Tlp_study.run ()));
+  Report.print (Ablations.report (Ablations.run ()))
+
+(* ---- part 2: substrate micro-benchmarks ------------------------------- *)
+
+let quickstart_prog () =
+  let wl = Registry.find "164.gzip" in
+  let s = wl.Workload.build () in
+  (s.Workload.prog, s.Workload.layout, s.Workload.init Workload.Train)
+
+let bench_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"interp: gzip train input"
+      (Staged.stage (fun () ->
+           let prog, _, mem = quickstart_prog () in
+           ignore (Interp.run prog mem)));
+    Test.make ~name:"hcc: compile gzip with HCCv3"
+      (Staged.stage (fun () ->
+           let prog, layout, mem = quickstart_prog () in
+           ignore (Hcc.compile (Hcc_config.v3 ()) prog layout ~train_mem:mem)));
+    Test.make ~name:"executor: sequential gzip train"
+      (Staged.stage (fun () ->
+           let prog, _, mem = quickstart_prog () in
+           ignore (Helix.run_sequential Mach_config.default prog mem)));
+    Test.make ~name:"ring: 10k ticks with traffic"
+      (Staged.stage (fun () ->
+           let backing = Hashtbl.create 16 in
+           let r =
+             Helix_ring.Ring.create
+               (Helix_ring.Ring.default_config ~n_nodes:16)
+               {
+                 Helix_ring.Ring.backing_load =
+                   (fun a -> try Hashtbl.find backing a with Not_found -> 0);
+                 backing_store = (fun a v -> Hashtbl.replace backing a v);
+                 owner_l1_latency =
+                   (fun ~core:_ ~cycle:_ ~write:_ ~addr:_ -> 3);
+               }
+           in
+           for c = 0 to 9_999 do
+             if c land 7 = 0 then
+               ignore
+                 (Helix_ring.Ring.try_store r ~node:(c land 15)
+                    ~addr:(64 + (c land 63))
+                    ~value:c ~cycle:c);
+             Helix_ring.Ring.tick r ~cycle:c
+           done));
+    Test.make ~name:"cache: 100k L1 accesses"
+      (Staged.stage (fun () ->
+           let c = Helix_machine.Cache.create Mach_config.default_l1 in
+           for i = 0 to 99_999 do
+             ignore
+               (Helix_machine.Cache.access c ~write:(i land 3 = 0)
+                  ((i * 17) land 16383))
+           done));
+    Test.make ~name:"analysis: loops+liveness+deps on gzip main"
+      (Staged.stage (fun () ->
+           let prog, _, _ = quickstart_prog () in
+           let f = Ir.main_func prog in
+           let cfg = Cfg.of_func f in
+           let lt = Helix_analysis.Loops.compute cfg in
+           ignore (Helix_analysis.Liveness.compute cfg);
+           List.iter
+             (fun lp ->
+               ignore
+                 (Helix_analysis.Depend.compute Helix_analysis.Alias.best prog
+                    f lp))
+             (Helix_analysis.Loops.loops lt)));
+  ]
+
+let part2 () =
+  let open Bechamel in
+  Fmt.pr "@.== substrate micro-benchmarks (bechamel) ==@.";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"helix-rc" ~fmt:"%s %s" bench_tests)
+  in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          Fmt.pr "  %-44s %12.0f ns/run@." name est
+      | _ -> Fmt.pr "  %-44s (no estimate)@." name)
+    results
+
+let () =
+  part1 ();
+  part2 ();
+  Fmt.pr "@.done.@."

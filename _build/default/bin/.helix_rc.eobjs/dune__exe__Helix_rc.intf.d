@@ -1,0 +1,1 @@
+bin/helix_rc.mli:

@@ -1,0 +1,125 @@
+(* Calibration driver: run every registered workload through HCCv1/v2/v3
+   and print coverage, speedup, oracle verdict and overhead mix, next to
+   the paper's reference numbers. *)
+
+open Helix_ir
+open Helix_hcc
+open Helix_core
+open Helix_machine
+open Helix_workloads
+
+let run_one (wl : Workload.t) =
+  Fmt.pr "@.=== %s (paper: %.1fx, cov v3 %.0f%% v2 %.0f%% v1 %.0f%%, %s) ===@."
+    wl.Workload.name wl.Workload.paper.Workload.p_speedup
+    (100. *. wl.Workload.paper.Workload.p_coverage_v3)
+    (100. *. wl.Workload.paper.Workload.p_coverage_v2)
+    (100. *. wl.Workload.paper.Workload.p_coverage_v1)
+    wl.Workload.paper.Workload.p_dominant;
+  (* golden + sequential baseline *)
+  let s = wl.Workload.build () in
+  Verify.check_program s.Workload.prog;
+  let g = Helix.golden_run s.Workload.prog (s.Workload.init Workload.Ref) in
+  let s2 = wl.Workload.build () in
+  let seq =
+    Helix.run_sequential Mach_config.default s2.Workload.prog
+      (s2.Workload.init Workload.Ref)
+  in
+  let seq_ok = (Helix.verify g seq).Helix.ok in
+  Fmt.pr "golden dyn=%d seq cycles=%d (oracle %s)@." g.Helix.g_dyn_instrs
+    seq.Executor.r_cycles
+    (if seq_ok then "OK" else "FAIL");
+  List.iter
+    (fun (vname, cfg, exec_ring, comm) ->
+      let sp = wl.Workload.build () in
+      let compiled =
+        Helix.compile cfg sp.Workload.prog sp.Workload.layout
+          ~train_mem:(sp.Workload.init Workload.Train)
+      in
+      let exec_cfg =
+        Executor.default_config ~ring:exec_ring ~comm Mach_config.default
+      in
+      let par =
+        Helix.run_parallel ~exec_cfg compiled (sp.Workload.init Workload.Ref)
+      in
+      let ok = (Helix.verify g par).Helix.ok in
+      let su = Helix.speedup ~seq ~par in
+      let ov =
+        Overhead.analyze ~n_cores:16 ~seq_retired:seq.Executor.r_retired par
+      in
+      let dominant =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+          ("-", 0.0) (Overhead.categories ov)
+      in
+      Fmt.pr
+        "%-6s cov=%5.1f%% sel=%d/%d speedup=%5.2fx cycles=%8d oracle=%s \
+         dominant=%s(%.0f%%) maxsig=%d@."
+        vname
+        (100. *. compiled.Hcc.cp_coverage)
+        (List.length compiled.Hcc.cp_selected)
+        (List.length compiled.Hcc.cp_candidates)
+        su par.Executor.r_cycles
+        (if ok then "OK" else "FAIL")
+        (fst dominant)
+        (100. *. snd dominant)
+        par.Executor.r_max_outstanding_signals;
+      if Sys.getenv_opt "CALIBRATE_VERBOSE" <> None then begin
+        let per_loop = Hashtbl.create 7 in
+        List.iter
+          (fun (inv : Executor.invocation_record) ->
+            let c, k, tmin, tmax =
+              try Hashtbl.find per_loop inv.Executor.inv_loop
+              with Not_found -> (0, 0, max_int, 0)
+            in
+            Hashtbl.replace per_loop inv.Executor.inv_loop
+              ( c + inv.Executor.inv_cycles,
+                k + 1,
+                min tmin inv.Executor.inv_trip,
+                max tmax inv.Executor.inv_trip ))
+          par.Executor.r_invocations;
+        Fmt.pr "    serial=%d cycles, parallel=%d cycles@."
+          par.Executor.r_serial_cycles par.Executor.r_parallel_cycles;
+        Hashtbl.iter
+          (fun loop (cycles, invocs, tmin, tmax) ->
+            Fmt.pr "    loop%d: %d cycles over %d invocations (trip %d..%d)@."
+              loop cycles invocs tmin tmax)
+          per_loop
+      end;
+      if Sys.getenv_opt "CALIBRATE_VERBOSE" <> None then
+        List.iter
+          (fun (c : Select.candidate) ->
+            let pl = c.Select.cd_loop in
+            let selected =
+              List.exists
+                (fun (s : Select.candidate) -> s.Select.cd_loop == pl)
+                compiled.Hcc.cp_selected
+            in
+            Fmt.pr
+              "    loop%d hdr=L%d depth=%d segs=%d est=%.2f benefit=%.0f \
+               iters=%s %s@."
+              pl.Parallel_loop.pl_id pl.Parallel_loop.pl_header
+              c.Select.cd_depth
+              (List.length pl.Parallel_loop.pl_segments)
+              c.Select.cd_estimate.Perf_model.e_speedup
+              c.Select.cd_estimate.Perf_model.e_benefit
+              (match c.Select.cd_profile with
+              | Some p ->
+                  Printf.sprintf "%d/%d"
+                    p.Profiler.lpf_iterations p.Profiler.lpf_invocations
+              | None -> "-")
+              (if selected then "SELECTED" else ""))
+          compiled.Hcc.cp_candidates)
+    [
+      ("HCCv1", Hcc_config.v1 (), false, Executor.fully_coupled);
+      ("HCCv2", Hcc_config.v2 (), false, Executor.fully_coupled);
+      ("HELIX", Hcc_config.v3 (), true, Executor.fully_decoupled);
+    ]
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  List.iter
+    (fun wl ->
+      match which with
+      | Some name when name <> wl.Workload.name -> ()
+      | _ -> run_one wl)
+    Registry.all

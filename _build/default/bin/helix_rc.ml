@@ -1,0 +1,293 @@
+(* helix-rc: command-line driver.
+
+   Subcommands regenerate each table/figure of the paper's evaluation,
+   inspect the compilation of a workload, or run single simulations. *)
+
+open Cmdliner
+open Helix_hcc
+open Helix_core
+open Helix_workloads
+open Helix_experiments
+
+let wl_conv =
+  let parse s =
+    match List.find_opt (fun w -> w.Workload.name = s) Registry.all with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %s (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun w -> w.Workload.name) Registry.all))))
+  in
+  Arg.conv (parse, fun ppf w -> Fmt.string ppf w.Workload.name)
+
+let quick =
+  let doc = "Run on the integer benchmarks only (faster)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let pick_workloads quick = if quick then Registry.integer else Registry.all
+
+(* ---- experiment commands ---- *)
+
+let experiment name runner =
+  let doc = Printf.sprintf "Regenerate %s of the paper." name in
+  Cmd.v
+    (Cmd.info (String.lowercase_ascii name) ~doc)
+    Term.(
+      const (fun quick ->
+          runner ~workloads:(pick_workloads quick) ();
+          `Ok ())
+      $ quick |> ret)
+
+let fig1_cmd =
+  experiment "Fig1" (fun ~workloads () ->
+      Report.print (Fig1.report (Fig1.run ~workloads ())))
+
+let fig2_cmd =
+  experiment "Fig2" (fun ~workloads:_ () ->
+      Report.print (Fig2.report (Fig2.run ())))
+
+let fig3_cmd =
+  experiment "Fig3" (fun ~workloads:_ () ->
+      Report.print (Fig3.report (Fig3.run ())))
+
+let fig4_cmd =
+  experiment "Fig4" (fun ~workloads:_ () ->
+      Report.print (Fig4.report (Fig4.run ())))
+
+let table1_cmd =
+  experiment "Table1" (fun ~workloads () ->
+      Report.print (Table1.report (Table1.run ~workloads ())))
+
+let fig7_cmd =
+  experiment "Fig7" (fun ~workloads () ->
+      Report.print (Fig7.report (Fig7.run ~workloads ())))
+
+let fig8_cmd =
+  experiment "Fig8" (fun ~workloads:_ () ->
+      Report.print (Fig8.report (Fig8.run ())))
+
+let fig9_cmd =
+  experiment "Fig9" (fun ~workloads:_ () ->
+      Report.print (Fig9.report (Fig9.run ())))
+
+let fig10_cmd =
+  experiment "Fig10" (fun ~workloads:_ () ->
+      Report.print (Fig10.report (Fig10.run ())))
+
+let fig11_cmd =
+  let doc = "Regenerate Figure 11 (sensitivity sweeps) of the paper." in
+  Cmd.v (Cmd.info "fig11" ~doc)
+    Term.(
+      const (fun () ->
+          Report.print
+            (Fig11.report ~title:"Figure 11a: core count"
+               (Fig11.core_count ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11b: link latency"
+               (Fig11.link_latency ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11c: signal bandwidth"
+               (Fig11.signal_bandwidth ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11d: node memory size"
+               (Fig11.node_memory ()));
+          `Ok ())
+      $ const () |> ret)
+
+let fig12_cmd =
+  experiment "Fig12" (fun ~workloads () ->
+      Report.print (Fig12.report (Fig12.run ~workloads ())))
+
+let tlp_cmd =
+  experiment "TLP" (fun ~workloads:_ () ->
+      Report.print (Tlp_study.report (Tlp_study.run ())))
+
+let ablations_cmd =
+  let doc = "Run the design-decision ablations (beyond the paper's sweeps)." in
+  Cmd.v (Cmd.info "ablations" ~doc)
+    Term.(
+      const (fun () ->
+          Report.print (Ablations.report (Ablations.run ()));
+          `Ok ())
+      $ const () |> ret)
+
+let all_cmd =
+  let doc = "Regenerate every table and figure (the full evaluation)." in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const (fun quick ->
+          let workloads = pick_workloads quick in
+          Report.print (Fig1.report (Fig1.run ~workloads ()));
+          Report.print (Fig2.report (Fig2.run ()));
+          Report.print (Fig3.report (Fig3.run ()));
+          Report.print (Fig4.report (Fig4.run ()));
+          Report.print (Table1.report (Table1.run ~workloads ()));
+          Report.print (Fig7.report (Fig7.run ~workloads ()));
+          Report.print (Fig8.report (Fig8.run ()));
+          Report.print (Fig9.report (Fig9.run ()));
+          Report.print (Fig10.report (Fig10.run ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11a: core count" (Fig11.core_count ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11b: link latency"
+               (Fig11.link_latency ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11c: signal bandwidth"
+               (Fig11.signal_bandwidth ()));
+          Report.print
+            (Fig11.report ~title:"Figure 11d: node memory size"
+               (Fig11.node_memory ()));
+          Report.print (Fig12.report (Fig12.run ~workloads ()));
+          Report.print (Tlp_study.report (Tlp_study.run ()));
+          Report.print (Ablations.report (Ablations.run ()));
+          `Ok ())
+      $ quick |> ret)
+
+(* ---- inspection commands ---- *)
+
+let version_arg =
+  let doc = "Compiler version: v1, v2 or v3." in
+  let vconv =
+    Arg.conv
+      ( (function
+        | "v1" -> Ok Exp_common.V1
+        | "v2" -> Ok Exp_common.V2
+        | "v3" -> Ok Exp_common.V3
+        | s -> Error (`Msg ("unknown version " ^ s))),
+        fun ppf v -> Fmt.string ppf (Exp_common.version_name v) )
+  in
+  Arg.(value & opt vconv Exp_common.V3 & info [ "version" ] ~doc)
+
+let compile_cmd =
+  let doc = "Compile a workload and show the selected parallel loops." in
+  let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(
+      const (fun wl version ->
+          let c = Exp_common.compiled wl version in
+          Fmt.pr "%s with %s: coverage %.1f%%, %d/%d loops selected@."
+            wl.Workload.name
+            (Exp_common.version_name version)
+            (100.0 *. c.Hcc.cp_coverage)
+            (List.length c.Hcc.cp_selected)
+            (List.length c.Hcc.cp_candidates);
+          List.iter
+            (fun (s : Select.candidate) ->
+              let pl = s.Select.cd_loop in
+              Fmt.pr
+                "  loop %d in %s (header L%d): %d segments, est. speedup \
+                 %.2fx@."
+                pl.Parallel_loop.pl_id pl.Parallel_loop.pl_func
+                pl.Parallel_loop.pl_header
+                (List.length pl.Parallel_loop.pl_segments)
+                s.Select.cd_estimate.Perf_model.e_speedup;
+              Fmt.pr "%a@." Helix_ir.Pretty.pp_func
+                (Helix_ir.Ir.find_func c.Hcc.cp_prog
+                   pl.Parallel_loop.pl_body_fn))
+            c.Hcc.cp_selected;
+          `Ok ())
+      $ wl $ version_arg |> ret)
+
+let run_cmd =
+  let doc = "Simulate one workload sequentially and with HELIX-RC." in
+  let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (fun wl ->
+          let seq = Exp_common.sequential wl in
+          let par = Exp_common.run_helix wl Exp_common.V3 in
+          Fmt.pr "%s: sequential %d cycles; HELIX-RC %d cycles; speedup \
+                  %.2fx; oracle %s@."
+            wl.Workload.name seq.Executor.r_cycles par.Executor.r_cycles
+            (Helix.speedup ~seq ~par)
+            (if Exp_common.verified wl par then "OK" else "FAIL");
+          `Ok ())
+      $ wl |> ret)
+
+let overhead_cmd =
+  let doc = "Show the Figure-12 overhead taxonomy for one workload." in
+  let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v (Cmd.info "overhead" ~doc)
+    Term.(
+      const (fun wl ->
+          let seq = Exp_common.sequential wl in
+          let par = Exp_common.run_helix wl Exp_common.V3 in
+          let ov =
+            Overhead.analyze ~n_cores:16
+              ~seq_retired:seq.Executor.r_retired par
+          in
+          Fmt.pr "%s: speedup %.2fx@." wl.Workload.name
+            (Helix.speedup ~seq ~par);
+          List.iter
+            (fun (n, v) -> Fmt.pr "  %-26s %5.1f%%@." n (100.0 *. v))
+            (Overhead.categories ov);
+          `Ok ())
+      $ wl |> ret)
+
+let stats_cmd =
+  let doc = "Detailed simulation statistics for one workload under              HELIX-RC: per-core cycle buckets, ring histograms,              invocation summary." in
+  let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const (fun wl ->
+          let par = Exp_common.run_helix wl Exp_common.V3 in
+          Fmt.pr "%s: %d cycles (%d serial, %d parallel), %d instructions@."
+            wl.Workload.name par.Executor.r_cycles
+            par.Executor.r_serial_cycles par.Executor.r_parallel_cycles
+            par.Executor.r_retired;
+          Array.iteri
+            (fun c st ->
+              Fmt.pr "  core %2d: %a@." c Helix_machine.Stats.pp st)
+            par.Executor.r_core_stats;
+          let per_loop = Hashtbl.create 7 in
+          List.iter
+            (fun (inv : Executor.invocation_record) ->
+              let c, k =
+                try Hashtbl.find per_loop inv.Executor.inv_loop
+                with Not_found -> (0, 0)
+              in
+              Hashtbl.replace per_loop inv.Executor.inv_loop
+                (c + inv.Executor.inv_cycles, k + 1))
+            par.Executor.r_invocations;
+          Hashtbl.iter
+            (fun loop (cycles, invocs) ->
+              Fmt.pr "  loop %d: %d cycles over %d invocations@." loop cycles
+                invocs)
+            per_loop;
+          Fmt.pr "  ring hit rate: %.1f%%; max outstanding signals: %d@."
+            (100.0 *. par.Executor.r_ring_hit_rate)
+            par.Executor.r_max_outstanding_signals;
+          `Ok ())
+      $ wl |> ret)
+
+let list_cmd =
+  let doc = "List the available workload models." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun w ->
+              Fmt.pr "%-12s %s, %d phases, paper speedup %.1fx@."
+                w.Workload.name
+                (match w.Workload.kind with
+                | Workload.Int -> "CINT"
+                | Workload.Fp -> "CFP")
+                w.Workload.phases w.Workload.paper.Workload.p_speedup)
+            Registry.all;
+          `Ok ())
+      $ const () |> ret)
+
+let () =
+  let doc = "HELIX-RC (ISCA 2014) reproduction" in
+  let info = Cmd.info "helix-rc" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; table1_cmd; fig7_cmd;
+            fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; tlp_cmd;
+            ablations_cmd; all_cmd; compile_cmd; run_cmd; overhead_cmd;
+            stats_cmd; list_cmd;
+          ]))

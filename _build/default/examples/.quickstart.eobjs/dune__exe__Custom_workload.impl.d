@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Builder Executor Fmt Hcc Hcc_config Helix Helix_core Helix_hcc Helix_ir Helix_machine Helix_workloads Ir List Mach_config Memory Workload

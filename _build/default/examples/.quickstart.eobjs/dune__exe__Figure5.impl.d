@@ -1,0 +1,1 @@
+examples/figure5.ml: Builder Executor Fmt Hcc Hcc_config Helix Helix_core Helix_hcc Helix_ir Helix_machine Ir List Mach_config Memory Parallel_loop Pretty

@@ -1,0 +1,1 @@
+examples/ring_sensitivity.ml: Executor Exp_common Fmt Helix_core Helix_experiments Helix_ring Helix_workloads List Registry Ring Workload

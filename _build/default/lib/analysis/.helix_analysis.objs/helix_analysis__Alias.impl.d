@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Helix_ir Ir List

@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Helix_ir Ir

@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Cfg Hashtbl Helix_ir Int Ir List Set

@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Hashtbl Helix_ir Ir List

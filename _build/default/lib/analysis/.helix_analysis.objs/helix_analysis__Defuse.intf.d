@@ -1,0 +1,1 @@
+lib/analysis/defuse.mli: Helix_ir Ir

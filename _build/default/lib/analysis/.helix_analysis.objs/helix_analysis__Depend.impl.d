@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Alias Array Hashtbl Helix_ir Interp Ir List Loops Set

@@ -1,0 +1,1 @@
+lib/analysis/depend.mli: Alias Helix_ir Interp Ir Loops Set

@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Array Cfg Hashtbl Helix_ir Ir List

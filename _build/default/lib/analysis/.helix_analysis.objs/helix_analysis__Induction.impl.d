@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Defuse Helix_ir Ir List Loops

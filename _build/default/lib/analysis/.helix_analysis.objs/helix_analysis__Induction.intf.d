@@ -1,0 +1,1 @@
+lib/analysis/induction.mli: Defuse Helix_ir Ir Loops

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Cfg Dataflow Hashtbl Helix_ir Ir List Loops

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Cfg Dataflow Helix_ir Ir Loops

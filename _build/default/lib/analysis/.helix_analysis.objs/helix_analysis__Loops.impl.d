@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Cfg Dominance Hashtbl Helix_ir Int Ir List Set

@@ -1,0 +1,1 @@
+lib/analysis/predictable.ml: Cfg Dataflow Defuse Dominance Helix_ir Induction Ir List Liveness Loops

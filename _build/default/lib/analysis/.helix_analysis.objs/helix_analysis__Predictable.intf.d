@@ -1,0 +1,1 @@
+lib/analysis/predictable.mli: Cfg Defuse Dominance Helix_ir Induction Ir Liveness Loops

@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Cfg Dataflow Hashtbl Helix_ir Ir List Loops

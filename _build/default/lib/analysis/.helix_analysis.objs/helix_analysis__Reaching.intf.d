@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Cfg Dataflow Hashtbl Helix_ir Ir Loops

@@ -1,0 +1,104 @@
+open Helix_ir
+
+(* Generic iterative dataflow framework over a [Cfg.t].
+
+   Clients provide a bounded join semilattice of facts per block boundary
+   and a transfer function; the engine runs a worklist to fixpoint.  Both
+   forward and backward problems are supported.  Facts are compared with a
+   client-supplied [equal]; termination relies on the usual monotone
+   framework assumptions, which the property tests exercise. *)
+
+type direction = Forward | Backward
+
+type 'fact problem = {
+  direction : direction;
+  init : Ir.label -> 'fact;      (* initial OUT (fwd) / IN (bwd) per block *)
+  entry_fact : 'fact;            (* boundary fact at entry (fwd) / exits (bwd) *)
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  transfer : Ir.label -> 'fact -> 'fact;
+}
+
+type 'fact solution = {
+  fact_in : Ir.label -> 'fact;   (* fact at block entry *)
+  fact_out : Ir.label -> 'fact;  (* fact at block exit *)
+  iterations : int;              (* worklist pops until fixpoint *)
+}
+
+let solve (cfg : Cfg.t) (p : 'fact problem) : 'fact solution =
+  let blocks = Cfg.reachable_blocks cfg in
+  let n = List.length blocks in
+  let fact = Hashtbl.create (2 * n) in
+  (* [fact] stores the post-transfer fact of each block: OUT for forward,
+     IN for backward. *)
+  List.iter (fun l -> Hashtbl.replace fact l (p.init l)) blocks;
+  let inputs l =
+    match p.direction with
+    | Forward -> Cfg.predecessors cfg l
+    | Backward -> Cfg.successors cfg l
+  in
+  let boundary l =
+    match p.direction with
+    | Forward -> l = Cfg.entry cfg
+    | Backward -> Cfg.successors cfg l = []
+  in
+  let gather l =
+    let base = if boundary l then Some p.entry_fact else None in
+    let from_nbrs =
+      List.filter_map (fun nb -> Hashtbl.find_opt fact nb) (inputs l)
+    in
+    match (base, from_nbrs) with
+    | Some b, fs -> List.fold_left p.join b fs
+    | None, f :: fs -> List.fold_left p.join f fs
+    | None, [] -> p.init l
+  in
+  let order =
+    (* reverse postorder for forward problems; its reverse for backward *)
+    let rpo = Array.to_list (Cfg.reverse_postorder cfg) in
+    match p.direction with Forward -> rpo | Backward -> List.rev rpo
+  in
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        incr iterations;
+        let input = gather l in
+        let output = p.transfer l input in
+        let old = Hashtbl.find fact l in
+        if not (p.equal old output) then begin
+          Hashtbl.replace fact l output;
+          changed := true
+        end)
+      order
+  done;
+  let post l =
+    match Hashtbl.find_opt fact l with Some f -> f | None -> p.init l
+  in
+  let pre l = gather l in
+  let fact_in, fact_out =
+    match p.direction with
+    | Forward -> (pre, post)
+    | Backward -> (post, pre)
+  in
+  { fact_in; fact_out; iterations = !iterations }
+
+(* -- common fact domains -------------------------------------------- *)
+
+module Int_set = Set.Make (Int)
+
+let set_problem ~direction ~entry_fact ~gen_kill (cfg : Cfg.t) =
+  let transfer l fact =
+    let gen, kill = gen_kill l in
+    Int_set.union gen (Int_set.diff fact kill)
+  in
+  solve cfg
+    {
+      direction;
+      init = (fun _ -> Int_set.empty);
+      entry_fact;
+      join = Int_set.union;
+      equal = Int_set.equal;
+      transfer;
+    }

@@ -1,0 +1,33 @@
+open Helix_ir
+
+(** Generic iterative dataflow over a [Cfg.t]: clients provide a bounded
+    join semilattice and a transfer function; the engine iterates to
+    fixpoint in (reverse) postorder. *)
+
+type direction = Forward | Backward
+
+type 'fact problem = {
+  direction : direction;
+  init : Ir.label -> 'fact;
+  entry_fact : 'fact;
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  transfer : Ir.label -> 'fact -> 'fact;
+}
+
+type 'fact solution = {
+  fact_in : Ir.label -> 'fact;
+  fact_out : Ir.label -> 'fact;
+  iterations : int;
+}
+
+val solve : Cfg.t -> 'fact problem -> 'fact solution
+
+module Int_set : Set.S with type elt = int
+
+val set_problem :
+  direction:direction ->
+  entry_fact:Int_set.t ->
+  gen_kill:(Ir.label -> Int_set.t * Int_set.t) ->
+  Cfg.t -> Int_set.t solution
+(** The common gen/kill bit-set instance. *)

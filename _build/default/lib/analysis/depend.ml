@@ -1,0 +1,264 @@
+open Helix_ir
+
+(* Data-dependence analysis for loops.
+
+   Static side: under a given alias tier, build the set of loop-carried
+   memory dependence edges between instructions of a loop body.  Following
+   the paper, the compiler "must conservatively assume dependences exist
+   between all iterations" -- any pair of conflicting accesses in the body
+   yields a carried edge (plus self edges for single accesses that both
+   read and write a shared location across iterations).
+
+   Dynamic side: a profiler that consumes interpreter hooks and records
+   which dependence pairs are *actual* (realized by at least one pair of
+   distinct iterations at runtime).  Figure 2's accuracy metric is
+   |static edges that are actual| / |static edges|. *)
+
+module Pos = struct
+  type t = Ir.ipos
+  let compare = compare
+end
+
+module Pos_set = Set.Make (Pos)
+
+module Edge = struct
+  type t = Ir.ipos * Ir.ipos (* normalized: fst <= snd *)
+  let compare = compare
+end
+
+module Edge_set = Set.Make (Edge)
+
+let norm_edge a b : Edge.t = if compare a b <= 0 then (a, b) else (b, a)
+
+type mem_node = {
+  mn_pos : Ir.ipos;
+  mn_effect : Alias.effect_;
+}
+
+type loop_deps = {
+  ld_nodes : mem_node list;
+  ld_edges : Edge_set.t;          (* loop-carried dependence edges *)
+  ld_shared : Ir.mem_annot list;  (* annots involved in carried edges *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Function memory-effect summaries                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Transitive read/write annotation summary of a function, used when a loop
+   body contains calls.  Recursion (absent from our workloads, but handled)
+   degrades to an opaque summary. *)
+let func_summary (tier : Alias.tier) (prog : Ir.program) :
+    string -> Alias.effect_ =
+  let cache : (string, Alias.effect_) Hashtbl.t = Hashtbl.create 7 in
+  let in_progress = Hashtbl.create 7 in
+  let union a b =
+    {
+      Alias.e_reads = a.Alias.e_reads @ b.Alias.e_reads;
+      Alias.e_writes = a.Alias.e_writes @ b.Alias.e_writes;
+      Alias.e_opaque = a.Alias.e_opaque || b.Alias.e_opaque;
+    }
+  in
+  let rec summary name =
+    match Hashtbl.find_opt cache name with
+    | Some e -> e
+    | None ->
+        if Hashtbl.mem in_progress name then
+          { Alias.no_effect with Alias.e_opaque = true }
+        else begin
+          Hashtbl.replace in_progress name ();
+          let f = Ir.find_func prog name in
+          let acc = ref Alias.no_effect in
+          Ir.iter_instrs f (fun _ ins ->
+              let e =
+                match ins with
+                | Ir.Call (_, callee, _) -> summary callee
+                | _ -> Alias.effect_of_instr tier ins
+              in
+              acc := union !acc e);
+          Hashtbl.remove in_progress name;
+          Hashtbl.replace cache name !acc;
+          !acc
+        end
+  in
+  summary
+
+(* ------------------------------------------------------------------ *)
+(* Static loop-carried dependences                                     *)
+(* ------------------------------------------------------------------ *)
+
+let loop_mem_nodes (tier : Alias.tier) (prog : Ir.program) (f : Ir.func)
+    (lp : Loops.loop) : mem_node list =
+  let summarize = func_summary tier prog in
+  Ir.fold_instrs f [] (fun acc pos ins ->
+      if not (Loops.contains lp pos.Ir.ip_block) then acc
+      else
+        let eff =
+          match ins with
+          | Ir.Call (_, callee, _) -> summarize callee
+          | _ -> Alias.effect_of_instr tier ins
+        in
+        if
+          eff.Alias.e_opaque
+          || eff.Alias.e_reads <> []
+          || eff.Alias.e_writes <> []
+        then { mn_pos = pos; mn_effect = eff } :: acc
+        else acc)
+  |> List.rev
+
+let writes_shared (e : Alias.effect_) = e.Alias.e_opaque || e.Alias.e_writes <> []
+
+let compute (tier : Alias.tier) (prog : Ir.program) (f : Ir.func)
+    (lp : Loops.loop) : loop_deps =
+  let nodes = loop_mem_nodes tier prog f lp in
+  let edges = ref Edge_set.empty in
+  let shared = ref [] in
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  let add_shared (a : Alias.effect_) (b : Alias.effect_) =
+    (* remember annotations participating in the conflict *)
+    let annots e = e.Alias.e_reads @ e.Alias.e_writes in
+    shared := annots a @ annots b @ !shared
+  in
+  for i = 0 to n - 1 do
+    (* self-conflict: a node that both reads and writes a location carries
+       a dependence from each iteration to later ones *)
+    let a = arr.(i) in
+    if
+      writes_shared a.mn_effect
+      && Alias.effects_conflict_carried tier a.mn_effect a.mn_effect
+    then begin
+      edges := Edge_set.add (norm_edge a.mn_pos a.mn_pos) !edges;
+      add_shared a.mn_effect a.mn_effect
+    end;
+    for j = i + 1 to n - 1 do
+      let b = arr.(j) in
+      if Alias.effects_conflict_carried tier a.mn_effect b.mn_effect then begin
+        edges := Edge_set.add (norm_edge a.mn_pos b.mn_pos) !edges;
+        add_shared a.mn_effect b.mn_effect
+      end
+    done
+  done;
+  (* deduplicate shared annots by full annotation value, dropping unknowns *)
+  let dedup =
+    List.sort_uniq compare
+      (List.filter (fun (a : Ir.mem_annot) -> a.Ir.site >= 0) !shared)
+  in
+  { ld_nodes = nodes; ld_edges = !edges; ld_shared = dedup }
+
+(* ------------------------------------------------------------------ *)
+(* Shared-location classes                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Partition the shared annotations into alias classes: the transitive
+   closure of [may_alias] under the tier.  HCCv3 builds one sequential
+   segment per class ("different sequential segments always access
+   different shared data"), so distinct classes may proceed in parallel. *)
+let shared_classes (tier : Alias.tier) (annots : Ir.mem_annot list) :
+    Ir.mem_annot list list =
+  let annots = List.sort_uniq compare annots in
+  let n = List.length annots in
+  let arr = Array.of_list annots in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Alias.may_alias tier arr.(i) arr.(j) then union i j
+    done
+  done;
+  let groups = Hashtbl.create 7 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    Hashtbl.replace groups r
+      (arr.(i) :: (try Hashtbl.find groups r with Not_found -> []))
+  done;
+  Hashtbl.fold (fun _ g acc -> List.sort compare g :: acc) groups []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic ground truth                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Dynamic = struct
+  (* Collector of actual loop-carried dependences for one loop.  The
+     caller drives [begin_iteration] from an interpreter block hook on the
+     loop header and routes memory hooks to [access]. *)
+  type t = {
+    mutable iter : int;
+    mutable active : bool;
+    last_write : (int, Ir.ipos * int) Hashtbl.t;    (* addr -> writer *)
+    readers : (int, (Ir.ipos * int) list) Hashtbl.t; (* since last write *)
+    mutable actual : Edge_set.t;
+    mutable intra_seen : Edge_set.t; (* same-iteration conflicts, kept for stats *)
+  }
+
+  let create () =
+    {
+      iter = -1;
+      active = false;
+      last_write = Hashtbl.create 256;
+      readers = Hashtbl.create 256;
+      actual = Edge_set.empty;
+      intra_seen = Edge_set.empty;
+    }
+
+  let begin_iteration t =
+    t.iter <- t.iter + 1;
+    t.active <- true
+
+  (* A new invocation of the loop: conflicts across invocations are not
+     loop-carried dependences, so the address state resets. *)
+  let new_invocation t =
+    Hashtbl.reset t.last_write;
+    Hashtbl.reset t.readers;
+    t.iter <- t.iter + 1;
+    t.active <- true
+
+  let finish t = t.active <- false
+
+  let access t (kind : Interp.access_kind) ~(pos : Ir.ipos) (addr : int) =
+    if t.active then begin
+      match kind with
+      | Interp.Read -> begin
+          (match Hashtbl.find_opt t.last_write addr with
+          | Some (wpos, wi) ->
+              let e = norm_edge wpos pos in
+              if wi < t.iter then t.actual <- Edge_set.add e t.actual
+              else t.intra_seen <- Edge_set.add e t.intra_seen
+          | None -> ());
+          let rs = try Hashtbl.find t.readers addr with Not_found -> [] in
+          if not (List.exists (fun (p, _) -> p = pos) rs) then
+            Hashtbl.replace t.readers addr ((pos, t.iter) :: rs)
+        end
+      | Interp.Write ->
+          (match Hashtbl.find_opt t.last_write addr with
+          | Some (wpos, wi) ->
+              let e = norm_edge wpos pos in
+              if wi < t.iter then t.actual <- Edge_set.add e t.actual
+              else t.intra_seen <- Edge_set.add e t.intra_seen
+          | None -> ());
+          List.iter
+            (fun (rpos, ri) ->
+              let e = norm_edge rpos pos in
+              if ri < t.iter then t.actual <- Edge_set.add e t.actual
+              else t.intra_seen <- Edge_set.add e t.intra_seen)
+            (try Hashtbl.find t.readers addr with Not_found -> []);
+          Hashtbl.replace t.last_write addr (pos, t.iter);
+          Hashtbl.remove t.readers addr
+    end
+
+  let actual_edges t = t.actual
+end
+
+(* Accuracy of a static edge set against the dynamic ground truth:
+   fraction of identified dependences that are actual (Figure 2). *)
+let accuracy ~(static_edges : Edge_set.t) ~(actual : Edge_set.t) : float =
+  let n = Edge_set.cardinal static_edges in
+  if n = 0 then 1.0
+  else
+    let hits = Edge_set.cardinal (Edge_set.inter static_edges actual) in
+    float_of_int hits /. float_of_int n

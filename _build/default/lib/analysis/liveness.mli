@@ -1,0 +1,20 @@
+open Helix_ir
+
+(** Register liveness as a backward dataflow problem. *)
+
+module Int_set = Dataflow.Int_set
+
+type t = {
+  live_in : Ir.label -> Int_set.t;
+  live_out : Ir.label -> Int_set.t;
+}
+
+val block_gen_kill : Ir.func -> Ir.label -> Int_set.t * Int_set.t
+(** Forward scan: gen = upward-exposed uses, kill = defined registers. *)
+
+val compute : Cfg.t -> t
+
+val live_after_loop : t -> Loops.loop -> Ir.reg -> bool
+(** Live at the entry of any loop-exit target. *)
+
+val live_at_header : t -> Loops.loop -> Ir.reg -> bool

@@ -1,0 +1,159 @@
+open Helix_ir
+
+(* Natural-loop discovery and the loop nesting graph.
+
+   A natural loop is identified by a back edge [latch -> header] where the
+   header dominates the latch.  Loops sharing a header are merged.  The
+   loop nesting graph (paper Section 4: HCCv3 "uses a loop nesting graph,
+   annotated with the profiling results, to choose the most promising
+   loops") is derived from body containment. *)
+
+module Label_set = Set.Make (Int)
+
+type loop = {
+  l_id : int;
+  l_header : Ir.label;
+  l_body : Label_set.t;          (* includes header *)
+  l_latches : Ir.label list;     (* sources of back edges *)
+  l_exits : (Ir.label * Ir.label) list; (* (from-in-loop, to-outside) *)
+  mutable l_parent : int option; (* enclosing loop id *)
+  mutable l_children : int list;
+  l_depth : int;                 (* 1 = outermost *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  loops : loop array;            (* indexed by l_id *)
+  header_of : (Ir.label, int) Hashtbl.t; (* header label -> loop id *)
+}
+
+let loops t = Array.to_list t.loops
+let loop t id = t.loops.(id)
+let num_loops t = Array.length t.loops
+let loop_of_header t h = Hashtbl.find_opt t.header_of h
+
+(* Innermost loop containing block [l], if any. *)
+let innermost_containing t l =
+  Array.to_list t.loops
+  |> List.filter (fun lp -> Label_set.mem l lp.l_body)
+  |> List.fold_left
+       (fun best lp ->
+         match best with
+         | None -> Some lp
+         | Some b -> if lp.l_depth > b.l_depth then Some lp else best)
+       None
+
+let compute (cfg : Cfg.t) : t =
+  let dom = Dominance.compute cfg in
+  (* collect back edges grouped by header *)
+  let back_edges = Hashtbl.create 7 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          if Dominance.dominates dom s l then begin
+            let cur = try Hashtbl.find back_edges s with Not_found -> [] in
+            Hashtbl.replace back_edges s (l :: cur)
+          end)
+        (Cfg.successors cfg l))
+    (Cfg.reverse_postorder cfg);
+  (* natural loop body: header + nodes reaching a latch without passing
+     through the header *)
+  let body_of header latches =
+    let body = ref (Label_set.singleton header) in
+    let rec visit l =
+      if not (Label_set.mem l !body) then begin
+        body := Label_set.add l !body;
+        List.iter visit
+          (List.filter (Cfg.is_reachable cfg) (Cfg.predecessors cfg l))
+      end
+    in
+    List.iter (fun latch -> if latch <> header then visit latch) latches;
+    !body
+  in
+  let headers =
+    Hashtbl.fold (fun h _ acc -> h :: acc) back_edges [] |> List.sort compare
+  in
+  let protoloops =
+    List.map
+      (fun h ->
+        let latches = Hashtbl.find back_edges h in
+        let body = body_of h latches in
+        let exits =
+          Label_set.fold
+            (fun l acc ->
+              List.fold_left
+                (fun acc s ->
+                  if Label_set.mem s body then acc else (l, s) :: acc)
+                acc (Cfg.successors cfg l))
+            body []
+        in
+        (h, latches, body, exits))
+      headers
+  in
+  (* nesting: loop A is inside loop B iff A.body strictly-subset B.body,
+     or equal bodies are impossible since headers differ *)
+  let n = List.length protoloops in
+  let arr = Array.of_list protoloops in
+  let parent = Array.make n None in
+  for i = 0 to n - 1 do
+    let _, _, bi, _ = arr.(i) in
+    let best = ref None in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let _, _, bj, _ = arr.(j) in
+        if Label_set.subset bi bj && not (Label_set.equal bi bj) then
+          match !best with
+          | None -> best := Some j
+          | Some k ->
+              let _, _, bk, _ = arr.(k) in
+              if Label_set.subset bj bk then best := Some j
+      end
+    done;
+    parent.(i) <- !best
+  done;
+  let rec depth i =
+    match parent.(i) with None -> 1 | Some p -> 1 + depth p
+  in
+  let loops =
+    Array.mapi
+      (fun i (h, latches, body, exits) ->
+        {
+          l_id = i;
+          l_header = h;
+          l_body = body;
+          l_latches = latches;
+          l_exits = exits;
+          l_parent = parent.(i);
+          l_children = [];
+          l_depth = depth i;
+        })
+      arr
+  in
+  Array.iteri
+    (fun i lp ->
+      match lp.l_parent with
+      | Some p -> loops.(p).l_children <- i :: loops.(p).l_children
+      | None -> ())
+    loops;
+  let header_of = Hashtbl.create 7 in
+  Array.iteri (fun i lp -> Hashtbl.replace header_of lp.l_header i) loops;
+  { cfg; loops; header_of }
+
+let innermost_loops t =
+  Array.to_list t.loops |> List.filter (fun l -> l.l_children = [])
+
+let contains lp label = Label_set.mem label lp.l_body
+
+(* Positions of all instructions inside the loop body, in layout order. *)
+let instr_positions (f : Ir.func) lp =
+  Ir.fold_instrs f [] (fun acc pos _ ->
+      if Label_set.mem pos.Ir.ip_block lp.l_body then pos :: acc else acc)
+  |> List.rev
+
+(* Registers defined by instructions inside the loop. *)
+let defined_regs (f : Ir.func) lp =
+  Ir.fold_instrs f Label_set.empty (fun acc pos ins ->
+      if Label_set.mem pos.Ir.ip_block lp.l_body then
+        List.fold_left (fun s r -> Label_set.add r s) acc (Ir.defs_of_instr ins)
+      else acc)

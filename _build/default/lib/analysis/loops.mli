@@ -1,0 +1,35 @@
+open Helix_ir
+
+(** Natural-loop discovery and the loop nesting graph HCCv3 uses for loop
+    selection (Section 4). *)
+
+module Label_set : Set.S with type elt = int
+
+type loop = {
+  l_id : int;
+  l_header : Ir.label;
+  l_body : Label_set.t;                 (** includes the header *)
+  l_latches : Ir.label list;            (** back-edge sources *)
+  l_exits : (Ir.label * Ir.label) list; (** (inside, outside) edges *)
+  mutable l_parent : int option;
+  mutable l_children : int list;
+  l_depth : int;                        (** 1 = outermost *)
+}
+
+type t
+
+val compute : Cfg.t -> t
+
+val loops : t -> loop list
+val loop : t -> int -> loop
+val num_loops : t -> int
+val loop_of_header : t -> Ir.label -> int option
+val innermost_containing : t -> Ir.label -> loop option
+val innermost_loops : t -> loop list
+val contains : loop -> Ir.label -> bool
+
+val instr_positions : Ir.func -> loop -> Ir.ipos list
+(** All instruction positions inside the loop body, in layout order. *)
+
+val defined_regs : Ir.func -> loop -> Label_set.t
+(** Registers defined by instructions inside the loop. *)

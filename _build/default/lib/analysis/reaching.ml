@@ -1,0 +1,80 @@
+open Helix_ir
+
+(* Reaching definitions.  Each definition site gets a dense id; facts are
+   sets of definition ids reaching a block boundary.  Used to decide
+   whether a use inside a loop can see a definition from a previous
+   iteration (a loop-carried register dependence). *)
+
+module Int_set = Dataflow.Int_set
+
+type def_site = { d_id : int; d_reg : Ir.reg; d_pos : Ir.ipos }
+
+type t = {
+  sites : def_site array;
+  site_of_pos : (Ir.ipos, int list) Hashtbl.t; (* instr position -> def ids *)
+  reach_in : Ir.label -> Int_set.t;
+  reach_out : Ir.label -> Int_set.t;
+}
+
+let compute (cfg : Cfg.t) : t =
+  let f = cfg.Cfg.func in
+  let sites = ref [] and n = ref 0 in
+  let site_of_pos = Hashtbl.create 64 in
+  let by_reg = Hashtbl.create 64 in
+  Ir.iter_instrs f (fun pos ins ->
+      List.iter
+        (fun r ->
+          let id = !n in
+          incr n;
+          sites := { d_id = id; d_reg = r; d_pos = pos } :: !sites;
+          Hashtbl.replace site_of_pos pos
+            (id :: (try Hashtbl.find site_of_pos pos with Not_found -> []));
+          Hashtbl.replace by_reg r
+            (id :: (try Hashtbl.find by_reg r with Not_found -> [])))
+        (Ir.defs_of_instr ins));
+  let sites = Array.of_list (List.rev !sites) in
+  let defs_of_reg r = try Hashtbl.find by_reg r with Not_found -> [] in
+  let gen_kill l =
+    let b = Ir.block_of_func f l in
+    let gen = ref Int_set.empty and kill = ref Int_set.empty in
+    List.iteri
+      (fun i ins ->
+        let pos = { Ir.ip_block = l; Ir.ip_index = i } in
+        List.iter
+          (fun r ->
+            (* later defs kill earlier gens of the same register *)
+            List.iter
+              (fun id ->
+                kill := Int_set.add id !kill;
+                gen := Int_set.remove id !gen)
+              (defs_of_reg r);
+            List.iter
+              (fun id -> gen := Int_set.add id !gen)
+              (try Hashtbl.find site_of_pos pos with Not_found -> []))
+          (Ir.defs_of_instr ins))
+      b.Ir.b_instrs;
+    (!gen, !kill)
+  in
+  let sol =
+    Dataflow.set_problem ~direction:Dataflow.Forward ~entry_fact:Int_set.empty
+      ~gen_kill cfg
+  in
+  {
+    sites;
+    site_of_pos;
+    reach_in = sol.Dataflow.fact_in;
+    reach_out = sol.Dataflow.fact_out;
+  }
+
+let site t id = t.sites.(id)
+
+let ids_at_pos t pos =
+  try Hashtbl.find t.site_of_pos pos with Not_found -> []
+
+(* Definition ids of register [r] inside loop [lp] that reach the loop
+   header along the back edge -- i.e. values carried between iterations. *)
+let carried_defs t (lp : Loops.loop) r =
+  Int_set.elements (t.reach_in lp.Loops.l_header)
+  |> List.filter (fun id ->
+         let s = t.sites.(id) in
+         s.d_reg = r && Loops.contains lp s.d_pos.Ir.ip_block)

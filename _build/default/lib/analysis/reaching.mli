@@ -1,0 +1,22 @@
+open Helix_ir
+
+(** Reaching definitions over dense definition-site ids. *)
+
+module Int_set = Dataflow.Int_set
+
+type def_site = { d_id : int; d_reg : Ir.reg; d_pos : Ir.ipos }
+
+type t = {
+  sites : def_site array;
+  site_of_pos : (Ir.ipos, int list) Hashtbl.t;
+  reach_in : Ir.label -> Int_set.t;
+  reach_out : Ir.label -> Int_set.t;
+}
+
+val compute : Cfg.t -> t
+val site : t -> int -> def_site
+val ids_at_pos : t -> Ir.ipos -> int list
+
+val carried_defs : t -> Loops.loop -> Ir.reg -> int list
+(** In-loop definitions of [r] reaching the loop header along the back
+    edge: values carried between iterations. *)

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Hashtbl Helix_ir Helix_machine Interp Ir List Memory Option Uop

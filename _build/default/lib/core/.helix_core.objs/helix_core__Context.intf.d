@@ -1,0 +1,1 @@
+lib/core/context.mli: Helix_ir Helix_machine Ir Memory Uop

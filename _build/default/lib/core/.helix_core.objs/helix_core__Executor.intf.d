@@ -1,0 +1,1 @@
+lib/core/executor.mli: Hcc Helix_hcc Helix_ir Helix_machine Helix_ring Ir Mach_config Memory Ring Stats

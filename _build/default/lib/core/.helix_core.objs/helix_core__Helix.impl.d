@@ -1,0 +1,1 @@
+lib/core/helix.ml: Executor Float Hcc Hcc_config Helix_hcc Helix_ir Helix_machine Interp Ir List Mach_config Memory Printf

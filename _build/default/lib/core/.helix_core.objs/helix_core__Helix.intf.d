@@ -1,0 +1,1 @@
+lib/core/helix.mli: Executor Hcc Hcc_config Helix_hcc Helix_ir Helix_machine Ir Mach_config Memory

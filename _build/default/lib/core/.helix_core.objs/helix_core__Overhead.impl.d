@@ -1,0 +1,1 @@
+lib/core/overhead.ml: Array Executor Float Format Helix_machine List Stats

@@ -1,0 +1,292 @@
+open Helix_ir
+open Helix_machine
+
+(* Per-core functional execution engine.
+
+   A context executes IR eagerly -- registers and private memory are
+   core-local, so early evaluation is safe -- and exposes a pull interface
+   ([next_uop]) that yields one timed uop per retired instruction.  The
+   timing model consumes uops at simulated speed; because the interface is
+   pull-based, eager execution never runs ahead of the core model by more
+   than its decode capacity.
+
+   Shared-world semantics cannot run early: a load inside a sequential
+   segment gets its value at its timed issue point, so the context blocks
+   ([Blocked]) until the core model fires the uop's sink.  Stores and
+   signals carry their payload in the uop and let execution continue.
+
+   Whether an access is shared is decided exactly as in the paper's
+   hardware (Section 3.1): the context counts executed wait and signal
+   instructions; memory operations at positive depth go to the shared
+   world. *)
+
+(* Minimal view of a parallel-loop trigger; the executor keeps the full
+   metadata keyed by (function, header). *)
+type parallel_trigger = { p_func : string; p_header : Ir.label }
+
+type status =
+  | Running
+  | Blocked                      (* waiting for a shared load's sink *)
+  | Suspended of parallel_trigger (* serial core reached a parallel header *)
+  | Finished of int option
+
+and frame = {
+  func : Ir.func;
+  regs : int array;
+  mutable block : Ir.label;
+  mutable index : int;           (* next instruction within the block *)
+  mutable entered : bool;        (* block-entry hook already fired *)
+  dst_in_caller : Ir.reg option; (* where the caller wants our result *)
+}
+
+type t = {
+  prog : Ir.program;
+  mem : Memory.t;
+  core_id : int;
+  mutable frames : frame list;   (* innermost first *)
+  mutable status : status;
+  mutable wait_depth : int;
+  mutable rand_seed : int;
+  mutable retired : int;
+  (* serial-mode trigger: does (func, header) start a parallel loop? *)
+  trigger : (string -> Ir.label -> bool) option;
+}
+
+let create ?(trigger = None) prog mem ~core_id =
+  {
+    prog;
+    mem;
+    core_id;
+    frames = [];
+    status = Finished None;
+    wait_depth = 0;
+    rand_seed = 0x12345;
+    retired = 0;
+    trigger;
+  }
+
+let frame_of func args dst_in_caller =
+  let regs = Array.make (max 1 func.Ir.f_next_reg) 0 in
+  List.iteri
+    (fun i p -> if i < List.length args then regs.(p) <- List.nth args i)
+    func.Ir.f_params;
+  { func; regs; block = func.Ir.f_entry; index = 0; entered = false;
+    dst_in_caller }
+
+(* Start executing [fname args]; any previous call is discarded. *)
+let start t fname args =
+  let f = Ir.find_func t.prog fname in
+  t.frames <- [ frame_of f args None ];
+  t.status <- Running;
+  t.wait_depth <- 0
+
+let status t = t.status
+let wait_depth t = t.wait_depth
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Context: no frame"
+
+(* Read a register of the outermost (serial) frame, e.g. to evaluate
+   parallel-loop parameters at loop entry. *)
+let reg_value t r = (current_frame t).regs.(r)
+
+let set_reg t r v = (current_frame t).regs.(r) <- v
+
+let operand_value t (o : Ir.operand) =
+  match o with Ir.Imm i -> i | Ir.Reg r -> reg_value t r
+
+(* Force the current frame to resume at [block] (used when the executor
+   finishes a parallel loop and the serial core continues at its exit). *)
+let jump_to t block =
+  let fr = current_frame t in
+  fr.block <- block;
+  fr.index <- 0;
+  fr.entered <- true;
+  (* a suspended serial context becomes runnable again *)
+  (match t.status with Suspended _ -> t.status <- Running | _ -> ());
+  t.wait_depth <- 0
+
+let token frame_depth r = ((frame_depth land 3) lsl 16) lor (r land 0xffff)
+
+let lib_latency = function
+  | Ir.Lc_abs | Ir.Lc_min | Ir.Lc_max -> 1
+  | Ir.Lc_hash | Ir.Lc_log2 -> 3
+  | Ir.Lc_isqrt -> 12
+  | Ir.Lc_rand -> 4
+  | Ir.Lc_strcmp | Ir.Lc_memchr -> 6
+
+let lib_eval t lc args =
+  let arg i = try List.nth args i with _ -> 0 in
+  match lc with
+  | Ir.Lc_abs -> abs (arg 0)
+  | Ir.Lc_min -> min (arg 0) (arg 1)
+  | Ir.Lc_max -> max (arg 0) (arg 1)
+  | Ir.Lc_hash -> Interp.mix_hash (arg 0)
+  | Ir.Lc_log2 -> Interp.ilog2 (arg 0)
+  | Ir.Lc_isqrt -> Interp.isqrt (arg 0)
+  | Ir.Lc_rand ->
+      t.rand_seed <-
+        ((t.rand_seed * 2862933555777941757) + 3037000493) land max_int;
+      (t.rand_seed lsr 16) land 0x3fffffff
+  | Ir.Lc_strcmp ->
+      let a = arg 0 and b = arg 1 and len = min (arg 2) 64 in
+      let rec go i =
+        if i >= len then 0
+        else
+          let va = Memory.load t.mem (a + i)
+          and vb = Memory.load t.mem (b + i) in
+          if va <> vb then compare va vb else go (i + 1)
+      in
+      go 0
+  | Ir.Lc_memchr ->
+      let base = arg 0 and needle = arg 1 and len = min (arg 2) 256 in
+      let rec go i =
+        if i >= len then -1
+        else if Memory.load t.mem (base + i) = needle then i
+        else go (i + 1)
+      in
+      go 0
+
+(* Execute at most one instruction; return the uop it produced, if any.
+   [None] with status Running means "made progress without a timed uop"
+   (e.g. an unconditional jump): the caller loops. *)
+let step (t : t) : Uop.t option =
+  match t.status with
+  | Blocked | Finished _ | Suspended _ -> None
+  | Running -> (
+      match t.frames with
+      | [] ->
+          t.status <- Finished None;
+          None
+      | fr :: outer_frames -> (
+          let depth = List.length t.frames in
+          let value = function
+            | Ir.Imm i -> i
+            | Ir.Reg r -> fr.regs.(r)
+          in
+          let addr_of (a : Ir.addr) = value a.Ir.base + value a.Ir.offset in
+          (* block-entry hook: parallel-loop trigger on the serial core *)
+          if (not fr.entered) && fr.index = 0 then begin
+            fr.entered <- true;
+            match t.trigger with
+            | Some tr when tr fr.func.Ir.f_name fr.block ->
+                t.status <-
+                  Suspended { p_func = fr.func.Ir.f_name; p_header = fr.block }
+            | _ -> ()
+          end;
+          match t.status with
+          | Suspended _ -> None
+          | _ ->
+              let b = Ir.block_of_func fr.func fr.block in
+              let n = List.length b.Ir.b_instrs in
+              if fr.index < n then begin
+                let ins = List.nth b.Ir.b_instrs fr.index in
+                fr.index <- fr.index + 1;
+                t.retired <- t.retired + 1;
+                let srcs =
+                  List.map (token depth) (Ir.uses_of_instr ins)
+                in
+                match ins with
+                | Ir.Binop (r, op, a, b') ->
+                    let lat =
+                      match op with
+                      | Ir.Mul -> 3
+                      | Ir.Div | Ir.Rem -> 20
+                      | _ -> 1
+                    in
+                    fr.regs.(r) <- Interp.eval_binop op (value a) (value b');
+                    Some (Uop.mk ~srcs ~dst:(token depth r) (Uop.Alu lat))
+                | Ir.Unop (r, op, a) ->
+                    fr.regs.(r) <- Interp.eval_unop op (value a);
+                    Some (Uop.mk ~srcs ~dst:(token depth r) (Uop.Alu 1))
+                | Ir.Mov (r, a) ->
+                    fr.regs.(r) <- value a;
+                    Some (Uop.mk ~srcs ~dst:(token depth r) (Uop.Alu 1))
+                | Ir.Load (r, ad) ->
+                    let a = addr_of ad in
+                    if t.wait_depth > 0 then begin
+                      (* shared load: value arrives via the sink *)
+                      t.status <- Blocked;
+                      let sink v =
+                        fr.regs.(r) <- v;
+                        t.status <- Running
+                      in
+                      Some
+                        (Uop.mk ~srcs ~dst:(token depth r) ~sink
+                           (Uop.Shared (Uop.S_load a)))
+                    end
+                    else begin
+                      fr.regs.(r) <- Memory.load t.mem a;
+                      Some
+                        (Uop.mk ~srcs ~dst:(token depth r) (Uop.Load_priv a))
+                    end
+                | Ir.Store (ad, v) ->
+                    let a = addr_of ad in
+                    let v = value v in
+                    if t.wait_depth > 0 then
+                      Some (Uop.mk ~srcs (Uop.Shared (Uop.S_store (a, v))))
+                    else begin
+                      Memory.store t.mem a v;
+                      Some (Uop.mk ~srcs (Uop.Store_priv a))
+                    end
+                | Ir.Call (dst, callee, args) ->
+                    let cf = Ir.find_func t.prog callee in
+                    let argv = List.map value args in
+                    t.frames <- frame_of cf argv dst :: t.frames;
+                    (* charge call/return overhead as a short ALU op *)
+                    Some (Uop.mk ~srcs (Uop.Alu 2))
+                | Ir.Libcall (r, lc, args) ->
+                    fr.regs.(r) <- lib_eval t lc (List.map value args);
+                    Some
+                      (Uop.mk ~srcs ~dst:(token depth r)
+                         (Uop.Alu (lib_latency lc)))
+                | Ir.Wait seg ->
+                    t.wait_depth <- t.wait_depth + 1;
+                    Some (Uop.mk (Uop.Shared (Uop.S_wait seg)))
+                | Ir.Signal seg ->
+                    t.wait_depth <- max 0 (t.wait_depth - 1);
+                    Some (Uop.mk (Uop.Shared (Uop.S_signal seg)))
+                | Ir.Flush -> Some (Uop.mk (Uop.Shared Uop.S_flush))
+                | Ir.Nop -> Some (Uop.mk (Uop.Alu 1))
+              end
+              else begin
+                (* terminator *)
+                match b.Ir.b_term with
+                | Ir.Jmp l ->
+                    fr.block <- l;
+                    fr.index <- 0;
+                    fr.entered <- false;
+                    None
+                | Ir.Br (c, l1, l2) ->
+                    let taken = value c <> 0 in
+                    let tgt = if taken then l1 else l2 in
+                    let static_id =
+                      Hashtbl.hash (fr.func.Ir.f_name, fr.block)
+                    in
+                    fr.block <- tgt;
+                    fr.index <- 0;
+                    fr.entered <- false;
+                    t.retired <- t.retired + 1;
+                    Some
+                      (Uop.mk
+                         ~srcs:(List.map (token depth) (Ir.regs_of_operand c))
+                         (Uop.Branch { taken; static_id }))
+                | Ir.Ret o ->
+                    let rv = Option.map value o in
+                    t.frames <- outer_frames;
+                    (match (outer_frames, fr.dst_in_caller, rv) with
+                    | caller :: _, Some d, Some v -> caller.regs.(d) <- v
+                    | caller :: _, Some d, None -> caller.regs.(d) <- 0
+                    | _ -> ());
+                    if outer_frames = [] then t.status <- Finished rv;
+                    None
+              end))
+
+(* Pull the next uop, advancing the context as needed. *)
+let rec next_uop t =
+  match t.status with
+  | Blocked | Finished _ | Suspended _ -> None
+  | Running -> ( match step t with Some u -> Some u | None ->
+      (match t.status with Running -> next_uop t | _ -> None))

@@ -1,0 +1,72 @@
+open Helix_ir
+open Helix_machine
+
+(** Per-core functional execution engine: executes IR eagerly (registers
+    and private memory are core-local, so early evaluation is safe) and
+    yields one timed uop per retired instruction through a pull
+    interface.  Shared-world semantics cannot run early: a load inside a
+    sequential segment blocks the context until the core model fires its
+    sink at the timed issue point.  Segment membership is decided exactly
+    as in the paper's hardware: by counting executed wait and signal
+    instructions. *)
+
+type parallel_trigger = { p_func : string; p_header : Ir.label }
+
+type status =
+  | Running
+  | Blocked                       (** awaiting a shared load's sink *)
+  | Suspended of parallel_trigger (** serial core at a parallel header *)
+  | Finished of int option
+
+type frame = {
+  func : Ir.func;
+  regs : int array;
+  mutable block : Ir.label;
+  mutable index : int;
+  mutable entered : bool;
+  dst_in_caller : Ir.reg option;
+}
+
+type t = {
+  prog : Ir.program;
+  mem : Memory.t;
+  core_id : int;
+  mutable frames : frame list;
+  mutable status : status;
+  mutable wait_depth : int;
+  mutable rand_seed : int;
+  mutable retired : int;
+  trigger : (string -> Ir.label -> bool) option;
+}
+
+val create :
+  ?trigger:(string -> Ir.label -> bool) option ->
+  Ir.program -> Memory.t -> core_id:int -> t
+(** [trigger] fires on block entry in the outermost frame; when it
+    returns true the context suspends (the serial core reached a
+    selected parallel-loop header). *)
+
+val start : t -> string -> int list -> unit
+(** Begin executing [fname args]; discards any previous call. *)
+
+val status : t -> status
+val wait_depth : t -> int
+
+val reg_value : t -> Ir.reg -> int
+(** Current frame's register, e.g. to evaluate parallel-loop parameters
+    at loop entry. *)
+
+val set_reg : t -> Ir.reg -> int -> unit
+val operand_value : t -> Ir.operand -> int
+
+val jump_to : t -> Ir.label -> unit
+(** Resume the current frame at [block] (the executor finishing a
+    parallel loop sends the serial core to the loop exit). *)
+
+val step : t -> Uop.t option
+(** Execute at most one instruction; [None] with status [Running] means
+    progress without a timed uop (an unconditional jump). *)
+
+val next_uop : t -> Uop.t option
+(** Pull the next uop, advancing as needed; [None] when blocked,
+    suspended or finished. *)

@@ -1,0 +1,759 @@
+open Helix_ir
+open Helix_machine
+open Helix_ring
+open Helix_hcc
+
+(* The HELIX-RC executor: a cycle-stepped simulation of a multicore
+   running a compiled program.
+
+   Serial phase: core 0 executes the program through its context; all
+   other cores idle.  When the serial context reaches the header of a
+   selected parallel loop, the executor suspends it, spawns one worker
+   context per core (successive iterations round-robin over cores,
+   forming the logical ring), and enters the parallel phase.  When every
+   iteration has completed and the ring has drained, the ring cache is
+   flushed, sequential register state is reconstructed (induction
+   variables from closed forms, reductions from per-core partials,
+   last-value variables from stamped cells, demoted registers from their
+   shared cells), and the serial context resumes at the loop exit.
+
+   Communication routing reproduces the paper's decoupling matrix
+   (Figure 8): memory accesses inside sequential segments go to the ring
+   cache or to the coherent conventional hierarchy depending on
+   [comm_mode]; synchronization uses proactively-broadcast ring signals
+   (a wait completes when *all* other cores' signals have arrived) or the
+   conventional chained scheme (a wait polls only its ring predecessor's
+   signal, which becomes visible one cache-to-cache latency after it is
+   stored). *)
+
+type comm_mode = {
+  reg_via_ring : bool;  (* demoted-register cells through the ring *)
+  mem_via_ring : bool;  (* program shared memory through the ring *)
+  sync_via_ring : bool; (* decoupled signals *)
+}
+
+let fully_decoupled =
+  { reg_via_ring = true; mem_via_ring = true; sync_via_ring = true }
+
+let fully_coupled =
+  { reg_via_ring = false; mem_via_ring = false; sync_via_ring = false }
+
+type config = {
+  mach : Mach_config.t;
+  ring_cfg : Ring.config option;
+  comm : comm_mode;
+  setup_latency : int;
+  fuel : int;
+}
+
+let default_config ?(ring = true) ?(comm = fully_decoupled) mach =
+  {
+    mach;
+    ring_cfg =
+      (if ring then Some (Ring.default_config ~n_nodes:mach.Mach_config.n_cores)
+       else None);
+    comm;
+    setup_latency = 10;
+    fuel = 400_000_000;
+  }
+
+type invocation_record = {
+  inv_loop : int;          (* Parallel_loop id *)
+  inv_trip : int;          (* executed iterations *)
+  inv_cycles : int;        (* wall duration of the phase *)
+}
+
+type result = {
+  r_cycles : int;
+  r_ret : int option;
+  r_mem : Memory.t;
+  r_core_stats : Stats.t array;
+  r_retired : int;
+  r_invocations : invocation_record list;
+  r_serial_cycles : int;
+  r_parallel_cycles : int;
+  r_ring_dist_hist : int array;       (* Figure 4b *)
+  r_ring_consumers_hist : int array;  (* Figure 4c *)
+  r_max_outstanding_signals : int;
+  r_ring_hit_rate : float;
+}
+
+exception Stuck of string
+
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  w_core : int;
+  w_ctx : Context.t;
+  mutable w_local_iter : int;     (* iterations started on this core *)
+  mutable w_running_iter : bool;  (* an iteration awaits completion accounting *)
+}
+
+type par_state = {
+  ps_pl : Parallel_loop.t;
+  ps_trip : int option; (* None: conditional, gated starts *)
+  ps_params : int list;
+  ps_iv_entry : (Parallel_loop.iv_info * int * int * int) list;
+      (* (info, r0, s0, step_value) *)
+  ps_red_entry : (Parallel_loop.reduction * int) list;
+  ps_lv_entry : (Parallel_loop.lastval * int) list;
+  ps_sr_entry : (Parallel_loop.shared_reg * int) list;
+  mutable ps_started : int;
+  mutable ps_finished : int;
+  mutable ps_executed : int; (* iterations that returned continue=1 *)
+  mutable ps_contig : int;   (* contiguous continue=1 prefix length *)
+  mutable ps_stopped : bool; (* some iteration returned 0 *)
+  ps_start_cycle : int;      (* workers may not start before this *)
+  ps_entry_cycle : int;
+}
+
+type phase = Serial | Parallel of par_state
+
+type t = {
+  cfg : config;
+  compiled : Hcc.compiled option;
+  prog : Ir.program;
+  mem : Memory.t;
+  n : int;
+  hier : Hierarchy.t;
+  ring : Ring.t option;
+  serial_ctx : Context.t;
+  workers : worker option array;
+  mutable cores : Core.t array;
+  mutable phase : phase;
+  now : int ref;
+  mutable serial_stall_until : int;
+  mutable invocations : invocation_record list;
+  mutable serial_cycles : int;
+  mutable parallel_cycles : int;
+  mutable done_ : bool;
+  mutable ret : int option;
+  mutable max_outstanding : int;
+  (* conventional signalling: (seg, origin) -> store cycles, in order *)
+  conv_signals : (int * int, int list ref) Hashtbl.t;
+  (* addresses of demoted-register cells, for routing *)
+  reg_cells : (int, unit) Hashtbl.t;
+}
+
+let find_loop t ~func ~header =
+  match t.compiled with
+  | None -> None
+  | Some c -> Hcc.find_parallel_loop c ~func ~header
+
+let trace_invocations =
+  match Sys.getenv_opt "HELIX_TRACE_INV" with
+  | Some s -> (try int_of_string s with _ -> 0)
+  | None -> 0
+
+let traced = ref 0
+
+(* ---- conventional chained signalling ---- *)
+
+let conv_signal_record t ~seg ~origin ~cycle =
+  let key = (seg, origin) in
+  let cell =
+    match Hashtbl.find_opt t.conv_signals key with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.conv_signals key l;
+        l
+  in
+  cell := cycle :: !cell (* newest first *)
+
+(* Is the [threshold]-th (1-based) signal visible at [cycle], given the
+   cache-to-cache visibility latency? *)
+let conv_signal_visible t ~seg ~origin ~threshold ~cycle =
+  if threshold <= 0 then true
+  else
+    match Hashtbl.find_opt t.conv_signals (seg, origin) with
+    | None -> false
+    | Some l ->
+        let times = List.rev !l in
+        List.length times >= threshold
+        && List.nth times (threshold - 1)
+           (* serialized signal request + transmission (Section 3.2) *)
+           + (2 * t.cfg.mach.Mach_config.mem.Mach_config.c2c_latency)
+           <= cycle
+
+(* ---- shared-world callback for core [c] ---- *)
+
+let route_via_ring t addr =
+  match t.ring with
+  | None -> false
+  | Some _ ->
+      if Hashtbl.mem t.reg_cells addr then t.cfg.comm.reg_via_ring
+      else t.cfg.comm.mem_via_ring
+
+let wait_thresholds t ~core ~local_iter =
+  (* during its local iteration k, core [core] needs, from core c',
+     k + 1 signals if c' precedes it in iteration order, else k *)
+  List.init t.n (fun c' ->
+      if c' = core then None
+      else Some (c', local_iter + if c' < core then 1 else 0))
+  |> List.filter_map Fun.id
+
+let shared_op t ~core ~cycle ~tag (op : Uop.shared_op) : Uop.shared_outcome =
+  let c2c = t.cfg.mach.Mach_config.mem.Mach_config.c2c_latency in
+  (* the uop's stamped iteration, NOT the worker's current counter: an
+     out-of-order window may still hold a previous iteration's wait after
+     the eager context has started the next assigned iteration *)
+  let local_iter = max 0 tag in
+  match op with
+  | Uop.S_wait seg ->
+      let satisfied =
+        if t.cfg.comm.sync_via_ring then begin
+          match t.ring with
+          | Some ring ->
+              List.for_all
+                (fun (origin, threshold) ->
+                  Ring.signals_satisfied ring ~node:core ~seg ~origin
+                    ~threshold)
+                (wait_thresholds t ~core ~local_iter)
+          | None -> true
+        end
+        else
+          (* lazy pull-based transmission: the same all-predecessor
+             semantics, but each signal becomes visible only one
+             cache-to-cache latency after it is stored -- this is what
+             serializes the Figure 5b chain *)
+          List.for_all
+            (fun (origin, threshold) ->
+              conv_signal_visible t ~seg ~origin ~threshold ~cycle)
+            (wait_thresholds t ~core ~local_iter)
+      in
+      if satisfied then Uop.Sh_done { latency = 1; value = 0 }
+      else begin
+        if !traced < trace_invocations && cycle land 15 = 0 then begin
+          let missing =
+            List.filter
+              (fun (origin, threshold) ->
+                match t.ring with
+                | Some ring ->
+                    not
+                      (Ring.signals_satisfied ring ~node:core ~seg ~origin
+                         ~threshold)
+                | None -> false)
+              (wait_thresholds t ~core ~local_iter)
+          in
+          Printf.eprintf "  [trace] @%d core %d wait seg%d k=%d missing=%s\n"
+            cycle core seg local_iter
+            (String.concat ","
+               (List.map (fun (o, th) -> Printf.sprintf "%d(th%d)" o th)
+                  missing))
+        end;
+        Uop.Sh_retry
+      end
+  | Uop.S_signal seg ->
+      if t.cfg.comm.sync_via_ring then begin
+        match t.ring with
+        | Some ring ->
+            if Ring.try_signal ring ~node:core ~seg ~cycle then begin
+              t.max_outstanding <-
+                max t.max_outstanding (Ring.max_outstanding_signals ring);
+              Uop.Sh_done { latency = 1; value = 0 }
+            end
+            else Uop.Sh_retry
+        | None -> Uop.Sh_done { latency = 1; value = 0 }
+      end
+      else begin
+        conv_signal_record t ~seg ~origin:core ~cycle;
+        Uop.Sh_done { latency = 2; value = 0 }
+      end
+  | Uop.S_load addr ->
+      if route_via_ring t addr then begin
+        match t.ring with
+        | Some ring ->
+            let value, latency = Ring.load ring ~node:core ~addr ~cycle in
+            if !traced < trace_invocations && latency > 10 then
+              Printf.eprintf "  [trace] @%d core %d ring MISS a=%d lat=%d\n"
+                cycle core addr latency;
+            Uop.Sh_done { latency; value }
+        | None -> assert false
+      end
+      else begin
+        (* lazy pull-based sharing: the request and the reply each cross
+           the chip, so a remote access costs two transfers on top of the
+           local hierarchy *)
+        let latency =
+          Hierarchy.access t.hier ~core ~cycle ~write:false ~coherent:true
+            addr
+        in
+        Uop.Sh_done
+          { latency = max latency (2 * c2c); value = Memory.load t.mem addr }
+      end
+  | Uop.S_store (addr, v) ->
+      if route_via_ring t addr then begin
+        match t.ring with
+        | Some ring ->
+            if Ring.try_store ring ~node:core ~addr ~value:v ~cycle then
+              Uop.Sh_done { latency = 1; value = 0 }
+            else Uop.Sh_retry
+        | None -> assert false
+      end
+      else begin
+        let latency =
+          Hierarchy.access t.hier ~core ~cycle ~write:true ~coherent:true addr
+        in
+        Memory.store t.mem addr v;
+        (* ownership acquisition: invalidation round trip *)
+        Uop.Sh_done { latency = max latency (2 * c2c); value = 0 }
+      end
+  | Uop.S_flush -> Uop.Sh_done { latency = 1; value = 0 }
+
+(* ---- iteration scheduling ---- *)
+
+let can_start t (ps : par_state) iter =
+  !(t.now) >= ps.ps_start_cycle
+  &&
+  match ps.ps_trip with
+  | Some trip -> iter < trip
+  | None -> (not ps.ps_stopped) && iter <= ps.ps_contig
+
+let finish_iteration ~now (ps : par_state) rv =
+  if !traced < trace_invocations then
+    Printf.eprintf "  [trace] @%d iter finished (fin=%d/%d)\n" now
+      (ps.ps_finished + 1) ps.ps_started;
+  ps.ps_finished <- ps.ps_finished + 1;
+  match rv with
+  | Some v when v <> 0 ->
+      ps.ps_executed <- ps.ps_executed + 1;
+      (* iterations finish in per-core order and conditional starts are
+         gated serially, so counting the continue prefix is exact *)
+      if not ps.ps_stopped then ps.ps_contig <- ps.ps_contig + 1
+  | Some _ | None -> ps.ps_stopped <- true
+
+let worker_next_uop t (ps : par_state) (w : worker) =
+  let rec go () =
+    match Context.status w.w_ctx with
+    | Context.Running | Context.Blocked -> (
+        match Context.next_uop w.w_ctx with
+        | Some u ->
+            u.Uop.meta <- max 0 (w.w_local_iter - 1);
+            Some u
+        | None -> None)
+    | Context.Suspended _ -> None
+    | Context.Finished rv ->
+        if w.w_running_iter then begin
+          w.w_running_iter <- false;
+          finish_iteration ~now:!(t.now) ps rv
+        end;
+        (* schedule the next iteration assigned to this core *)
+        let iter = (w.w_local_iter * t.n) + w.w_core in
+        if can_start t ps iter then begin
+          w.w_local_iter <- w.w_local_iter + 1;
+          ps.ps_started <- ps.ps_started + 1;
+          w.w_running_iter <- true;
+          if !traced < trace_invocations then
+            Printf.eprintf "  [trace] @%d core %d starts iter %d\n" !(t.now)
+              w.w_core iter;
+          Context.start w.w_ctx ps.ps_pl.Parallel_loop.pl_body_fn
+            (iter :: ps.ps_params);
+          go ()
+        end
+        else None
+  in
+  go ()
+
+(* ---- phase transitions ---- *)
+
+let eval_operand_in serial_ctx (o : Ir.operand) =
+  Context.operand_value serial_ctx o
+
+let compute_trip (c : Parallel_loop.counted) ~init ~step ~bound =
+  let cmp v =
+    match c.Parallel_loop.ccmp with
+    | Ir.Lt -> v < bound
+    | Ir.Le -> v <= bound
+    | Ir.Gt -> v > bound
+    | Ir.Ge -> v >= bound
+    | Ir.Ne -> v <> bound
+    | _ -> false
+  in
+  let rec go k v =
+    if k > 100_000_000 then raise (Stuck "trip count exceeds fuel")
+    else if cmp v then go (k + 1) (v + (c.Parallel_loop.csign * step))
+    else k
+  in
+  go 0 init
+
+(* Functional bookkeeping write by the runtime itself (cell
+   initialization, scratch clearing): must also invalidate ring copies. *)
+let runtime_store t addr v =
+  (match t.ring with Some r -> Ring.invalidate_addr r addr | None -> ());
+  Memory.store t.mem addr v
+
+let begin_parallel t (pl : Parallel_loop.t) =
+  let sc = t.serial_ctx in
+  let params = List.map (Context.reg_value sc) pl.Parallel_loop.pl_params in
+  let iv_entry =
+    List.map
+      (fun (info : Parallel_loop.iv_info) ->
+        let r0 = Context.reg_value sc info.Parallel_loop.ivi_reg in
+        match info.Parallel_loop.ivi_form with
+        | Parallel_loop.Linear { step; _ } ->
+            (info, r0, 0, eval_operand_in sc step)
+        | Parallel_loop.Quadratic { step_reg; step; _ } ->
+            (info, r0, Context.reg_value sc step_reg,
+             eval_operand_in sc step))
+      pl.Parallel_loop.pl_ivs
+  in
+  let trip =
+    match pl.Parallel_loop.pl_kind with
+    | Parallel_loop.Counted c ->
+        let init = Context.reg_value sc c.Parallel_loop.civ in
+        let step = eval_operand_in sc c.Parallel_loop.cstep in
+        let bound = eval_operand_in sc c.Parallel_loop.cbound in
+        Some (compute_trip c ~init ~step ~bound)
+    | Parallel_loop.Conditional -> None
+  in
+  if !traced < trace_invocations then
+    Printf.eprintf "  [trace] @%d begin_parallel loop%d trip=%s\n" !(t.now)
+      pl.Parallel_loop.pl_id
+      (match trip with Some k -> string_of_int k | None -> "?");
+  let red_entry =
+    List.map
+      (fun (rd : Parallel_loop.reduction) ->
+        let r0 = Context.reg_value sc rd.Parallel_loop.rd_reg in
+        for slot = 0 to t.n - 1 do
+          runtime_store t
+            (rd.Parallel_loop.rd_base + slot)
+            rd.Parallel_loop.rd_identity
+        done;
+        (rd, r0))
+      pl.Parallel_loop.pl_reductions
+  in
+  let lv_entry =
+    List.map
+      (fun (lv : Parallel_loop.lastval) ->
+        let r0 = Context.reg_value sc lv.Parallel_loop.lv_reg in
+        for slot = 0 to t.n - 1 do
+          runtime_store t (lv.Parallel_loop.lv_iter_base + slot) 0
+        done;
+        (lv, r0))
+      pl.Parallel_loop.pl_lastvals
+  in
+  let sr_entry =
+    List.map
+      (fun (sr : Parallel_loop.shared_reg) ->
+        let r0 = Context.reg_value sc sr.Parallel_loop.sr_reg in
+        runtime_store t sr.Parallel_loop.sr_addr r0;
+        (sr, r0))
+      pl.Parallel_loop.pl_shared_regs
+  in
+  Hashtbl.reset t.conv_signals;
+  for c = 0 to t.n - 1 do
+    t.workers.(c) <-
+      Some
+        {
+          w_core = c;
+          w_ctx = Context.create t.prog t.mem ~core_id:c;
+          w_local_iter = 0;
+          w_running_iter = false;
+        }
+  done;
+  t.phase <-
+    Parallel
+      {
+        ps_pl = pl;
+        ps_trip = trip;
+        ps_params = params;
+        ps_iv_entry = iv_entry;
+        ps_red_entry = red_entry;
+        ps_lv_entry = lv_entry;
+        ps_sr_entry = sr_entry;
+        ps_started = 0;
+        ps_finished = 0;
+        ps_executed = 0;
+        ps_contig = 0;
+        ps_stopped = false;
+        ps_start_cycle = !(t.now) + t.cfg.setup_latency;
+        ps_entry_cycle = !(t.now);
+      }
+
+let parallel_done t (ps : par_state) =
+  let all_scheduled =
+    match ps.ps_trip with
+    | Some trip -> ps.ps_started >= trip
+    | None -> ps.ps_stopped
+  in
+  (* data must land before the flush (node arrays stay valid across
+     invocations); in-flight signals may be dropped *)
+  all_scheduled
+  && ps.ps_finished = ps.ps_started
+  && Array.for_all Core.quiescent t.cores
+  && (match t.ring with Some r -> Ring.data_drained r | None -> true)
+
+let end_parallel t (ps : par_state) =
+  if !traced < trace_invocations then begin
+    incr traced;
+    Printf.eprintf "  [trace] @%d end_parallel (entry @%d, started %d)\n"
+      !(t.now) ps.ps_entry_cycle ps.ps_started
+  end;
+  let pl = ps.ps_pl in
+  let sc = t.serial_ctx in
+  let executed = ps.ps_executed in
+  (* flush the ring cache: the distributed fence at loop exit *)
+  let flush_lat =
+    match t.ring with
+    | Some ring -> Ring.flush ring ~cycle:!(t.now)
+    | None -> 0
+  in
+  (* reconstruct sequential register state *)
+  List.iter
+    (fun ((info : Parallel_loop.iv_info), r0, s0, step_value) ->
+      if info.Parallel_loop.ivi_live_out then
+        Context.set_reg sc info.Parallel_loop.ivi_reg
+          (Parallel_loop.iv_value_at info ~r0 ~s0 ~step_value executed))
+    ps.ps_iv_entry;
+  List.iter
+    (fun ((rd : Parallel_loop.reduction), r0) ->
+      let partials =
+        List.init t.n (fun slot ->
+            Memory.load t.mem (rd.Parallel_loop.rd_base + slot))
+      in
+      if rd.Parallel_loop.rd_live_out then
+        Context.set_reg sc rd.Parallel_loop.rd_reg
+          (Parallel_loop.combine_reduction rd r0 partials))
+    ps.ps_red_entry;
+  List.iter
+    (fun ((lv : Parallel_loop.lastval), r0) ->
+      let best = ref (0, r0) in
+      for slot = 0 to t.n - 1 do
+        let stamp = Memory.load t.mem (lv.Parallel_loop.lv_iter_base + slot) in
+        if stamp > fst !best then
+          best :=
+            (stamp, Memory.load t.mem (lv.Parallel_loop.lv_val_base + slot))
+      done;
+      if lv.Parallel_loop.lv_live_out then
+        Context.set_reg sc lv.Parallel_loop.lv_reg (snd !best))
+    ps.ps_lv_entry;
+  List.iter
+    (fun ((sr : Parallel_loop.shared_reg), _r0) ->
+      if sr.Parallel_loop.sr_live_out then
+        Context.set_reg sc sr.Parallel_loop.sr_reg
+          (Memory.load t.mem sr.Parallel_loop.sr_addr))
+    ps.ps_sr_entry;
+  (* clear compiler scratch so the memory image matches sequential *)
+  List.iter
+    (fun (base, size) ->
+      for a = base to base + size - 1 do
+        runtime_store t a 0
+      done)
+    pl.Parallel_loop.pl_scratch;
+  for c = 0 to t.n - 1 do
+    t.workers.(c) <- None
+  done;
+  t.invocations <-
+    {
+      inv_loop = pl.Parallel_loop.pl_id;
+      inv_trip = executed;
+      inv_cycles = !(t.now) - ps.ps_entry_cycle;
+    }
+    :: t.invocations;
+  t.serial_stall_until <- !(t.now) + 2 + flush_lat;
+  Context.jump_to sc pl.Parallel_loop.pl_exit;
+  t.phase <- Serial
+
+(* ---- construction ---- *)
+
+let create ?(compiled : Hcc.compiled option) (cfg : config)
+    (prog : Ir.program) (mem : Memory.t) : t =
+  let n = cfg.mach.Mach_config.n_cores in
+  let trigger =
+    match compiled with
+    | None -> None
+    | Some c ->
+        Some
+          (fun fname header ->
+            Hcc.find_parallel_loop c ~func:fname ~header <> None)
+  in
+  let serial_ctx = Context.create ~trigger prog mem ~core_id:0 in
+  let hier = Hierarchy.create cfg.mach in
+  let t_ref = ref None in
+  let ring =
+    Option.map
+      (fun rc ->
+        Ring.create rc
+          {
+            Ring.backing_load = Memory.load mem;
+            backing_store = Memory.store mem;
+            owner_l1_latency =
+              (fun ~core ~cycle ~write ~addr ->
+                Hierarchy.owner_l1_access hier ~core ~cycle ~write addr);
+          })
+      cfg.ring_cfg
+  in
+  let reg_cells = Hashtbl.create 64 in
+  (match compiled with
+  | Some c ->
+      List.iter
+        (fun (s : Select.candidate) ->
+          List.iter
+            (fun sr -> Hashtbl.replace reg_cells sr.Parallel_loop.sr_addr ())
+            s.Select.cd_loop.Parallel_loop.pl_shared_regs)
+        c.Hcc.cp_candidates
+  | None -> ());
+  let t =
+    {
+      cfg;
+      compiled;
+      prog;
+      mem;
+      n;
+      hier;
+      ring;
+      serial_ctx;
+      workers = Array.make n None;
+      cores = [||];
+      phase = Serial;
+      now = ref 0;
+      serial_stall_until = 0;
+      invocations = [];
+      serial_cycles = 0;
+      parallel_cycles = 0;
+      done_ = false;
+      ret = None;
+      max_outstanding = 0;
+      conv_signals = Hashtbl.create 64;
+      reg_cells;
+    }
+  in
+  t_ref := Some t;
+  let supply_for core =
+    {
+      Core_model.sup_next =
+        (fun () ->
+          let t = Option.get !t_ref in
+          if !(t.now) < t.serial_stall_until && core = 0 then None
+          else
+            match t.phase with
+            | Serial ->
+                if core = 0 then Context.next_uop t.serial_ctx else None
+            | Parallel ps -> begin
+                match t.workers.(core) with
+                | Some w -> worker_next_uop t ps w
+                | None -> None
+              end);
+      sup_mem =
+        (fun ~cycle ~write ~addr ->
+          let t = Option.get !t_ref in
+          if write then
+            (match t.ring with
+            | Some r -> Ring.invalidate_addr r addr
+            | None -> ());
+          Hierarchy.access hier ~core ~cycle ~write ~coherent:false addr);
+      sup_shared =
+        (fun ~cycle ~tag op ->
+          let t = Option.get !t_ref in
+          shared_op t ~core ~cycle ~tag op);
+    }
+  in
+  t.cores <-
+    Array.init n (fun c -> Core.create cfg.mach.Mach_config.core (supply_for c));
+  t
+
+(* ---- main loop ---- *)
+
+let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
+    =
+  let t = create ?compiled cfg prog mem in
+  Context.start t.serial_ctx prog.Ir.p_main [];
+  let last_progress = ref 0 in
+  let last_retired = ref (-1) in
+  while not t.done_ do
+    let cycle = !(t.now) in
+    if cycle > t.cfg.fuel then raise (Stuck "cycle fuel exhausted");
+    (match t.ring with Some r -> Ring.tick r ~cycle | None -> ());
+    Array.iter (fun c -> Core.tick c cycle) t.cores;
+    (* progress watchdog *)
+    let retired =
+      Array.fold_left
+        (fun acc c -> acc + (Core.stats c).Stats.retired)
+        0 t.cores
+    in
+    if retired <> !last_retired then begin
+      last_retired := retired;
+      last_progress := cycle
+    end
+    else if cycle - !last_progress > 2_000_000 then begin
+      (* dump a diagnostic picture of every core before dying *)
+      Array.iteri
+        (fun c w ->
+          match w with
+          | Some w ->
+              Printf.eprintf
+                "  [stuck] core %d: local_iter=%d running=%b status=%s\n" c
+                w.w_local_iter w.w_running_iter
+                (match Context.status w.w_ctx with
+                | Context.Running -> "running"
+                | Context.Blocked -> "blocked-on-shared-load"
+                | Context.Suspended _ -> "suspended"
+                | Context.Finished _ -> "finished");
+              Printf.eprintf "          core-model: %s\n"
+                (Core.describe t.cores.(c))
+          | None -> ())
+        t.workers;
+      (match t.phase with
+      | Parallel ps ->
+          Printf.eprintf "  [stuck] started=%d finished=%d trip=%s\n"
+            ps.ps_started ps.ps_finished
+            (match ps.ps_trip with
+            | Some k -> string_of_int k
+            | None -> "?")
+      | Serial -> ());
+      (match t.ring with
+      | Some r -> Printf.eprintf "%s" (Ring.describe r)
+      | None -> ());
+      raise
+        (Stuck
+           (Printf.sprintf "no progress since cycle %d (phase %s)"
+              !last_progress
+              (match t.phase with Serial -> "serial" | Parallel _ -> "parallel")))
+    end;
+    (* phase transitions *)
+    (match t.phase with
+    | Serial -> begin
+        t.serial_cycles <- t.serial_cycles + 1;
+        match Context.status t.serial_ctx with
+        | Context.Suspended trig when Core.quiescent t.cores.(0) -> begin
+            match
+              find_loop t ~func:trig.Context.p_func
+                ~header:trig.Context.p_header
+            with
+            | Some pl -> begin_parallel t pl
+            | None ->
+                (* spurious trigger: resume where we stopped *)
+                Context.jump_to t.serial_ctx trig.Context.p_header
+          end
+        | Context.Finished rv when Core.quiescent t.cores.(0) ->
+            t.ret <- rv;
+            t.done_ <- true
+        | _ -> ()
+      end
+    | Parallel ps ->
+        t.parallel_cycles <- t.parallel_cycles + 1;
+        if parallel_done t ps then end_parallel t ps);
+    incr t.now
+  done;
+  {
+    r_cycles = !(t.now);
+    r_ret = t.ret;
+    r_mem = t.mem;
+    r_core_stats = Array.map Core.stats t.cores;
+    r_retired =
+      Array.fold_left (fun acc c -> acc + (Core.stats c).Stats.retired) 0
+        t.cores;
+    r_invocations = List.rev t.invocations;
+    r_serial_cycles = t.serial_cycles;
+    r_parallel_cycles = t.parallel_cycles;
+    r_ring_dist_hist =
+      (match t.ring with Some r -> Ring.dist_histogram r | None -> Array.make 7 0);
+    r_ring_consumers_hist =
+      (match t.ring with
+      | Some r -> Ring.consumers_histogram r
+      | None -> Array.make 7 0);
+    r_max_outstanding_signals = t.max_outstanding;
+    r_ring_hit_rate =
+      (match t.ring with Some r -> Ring.ring_hit_rate r | None -> 1.0);
+  }

@@ -1,0 +1,71 @@
+open Helix_ir
+open Helix_machine
+open Helix_ring
+open Helix_hcc
+
+(** The HELIX-RC executor: a cycle-stepped simulation of a multicore
+    running a compiled program.
+
+    Serial phase: core 0 executes through its context; the others idle.
+    At a selected parallel-loop header the executor suspends the serial
+    context, spawns one worker per core (iterations round-robin over the
+    logical ring) and runs the parallel phase; at the end the ring is
+    flushed, sequential register state is reconstructed (closed-form
+    IVs, reduction partials, stamped last-values, demoted cells) and the
+    serial context resumes at the loop exit.
+
+    Communication routing implements the paper's decoupling matrix
+    (Figure 8): segment memory traffic goes to the ring or to the
+    coherent conventional hierarchy per [comm_mode]; synchronization is
+    either proactive ring broadcast or the lazy conventional scheme whose
+    per-signal visibility latency produces the Figure-5b chains. *)
+
+type comm_mode = {
+  reg_via_ring : bool;   (** demoted-register cells through the ring *)
+  mem_via_ring : bool;   (** program shared memory through the ring *)
+  sync_via_ring : bool;  (** decoupled signals *)
+}
+
+val fully_decoupled : comm_mode
+val fully_coupled : comm_mode
+
+type config = {
+  mach : Mach_config.t;
+  ring_cfg : Ring.config option;  (** [None]: no ring hardware *)
+  comm : comm_mode;
+  setup_latency : int;            (** parallel-phase entry charge *)
+  fuel : int;
+}
+
+val default_config : ?ring:bool -> ?comm:comm_mode -> Mach_config.t -> config
+
+type invocation_record = {
+  inv_loop : int;
+  inv_trip : int;
+  inv_cycles : int;
+}
+
+type result = {
+  r_cycles : int;
+  r_ret : int option;
+  r_mem : Memory.t;
+  r_core_stats : Stats.t array;
+  r_retired : int;
+  r_invocations : invocation_record list;
+  r_serial_cycles : int;
+  r_parallel_cycles : int;
+  r_ring_dist_hist : int array;       (** Figure 4b *)
+  r_ring_consumers_hist : int array;  (** Figure 4c *)
+  r_max_outstanding_signals : int;    (** must stay <= 2 *)
+  r_ring_hit_rate : float;
+}
+
+exception Stuck of string
+(** Raised (with a per-core diagnostic dump on stderr) when no core
+    retires anything for a long interval — a protocol deadlock. *)
+
+val run :
+  ?compiled:Hcc.compiled -> config -> Ir.program -> Memory.t -> result
+(** Simulate the program to completion on the given initial memory
+    (mutated in place).  Without [compiled] there are no parallel
+    triggers: the single-core sequential baseline. *)

@@ -1,0 +1,35 @@
+open Helix_ir
+open Helix_machine
+open Helix_hcc
+
+(** Top-level HELIX-RC API: compile, simulate, verify, compare. *)
+
+type golden = {
+  g_ret : int option;
+  g_mem : Memory.t;
+  g_dyn_instrs : int;
+}
+
+val golden_run : Ir.program -> Memory.t -> golden
+(** Reference semantics on the given memory (consumed in place). *)
+
+val compile :
+  Hcc_config.t -> Ir.program -> Memory.Layout.t -> train_mem:Memory.t ->
+  Hcc.compiled
+
+val run_sequential :
+  Mach_config.t -> Ir.program -> Memory.t -> Executor.result
+(** The unmodified program on one core of the machine's core type. *)
+
+val run_parallel :
+  ?exec_cfg:Executor.config -> Hcc.compiled -> Memory.t -> Executor.result
+(** Default configuration: 16-core ring-cache machine, fully decoupled. *)
+
+type verdict = { ok : bool; detail : string }
+
+val verify : golden -> Executor.result -> verdict
+(** The oracle: a simulated run must reproduce the reference return value
+    and memory image exactly. *)
+
+val speedup : seq:Executor.result -> par:Executor.result -> float
+val geomean : float list -> float

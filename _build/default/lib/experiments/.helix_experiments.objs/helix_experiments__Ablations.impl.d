@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Executor Exp_common Fun Hcc Hcc_config Helix Helix_core Helix_hcc Helix_ring Helix_workloads List Option Registry Report Ring Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Executor Hashtbl Hcc Hcc_config Helix Helix_core Helix_hcc Helix_ir Helix_machine Helix_workloads Mach_config Memory Printf Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Exp_common Helix_workloads List Registry Report Workload

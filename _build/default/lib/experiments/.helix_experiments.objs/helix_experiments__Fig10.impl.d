@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Exp_common Helix_core Helix_machine Helix_workloads List Mach_config Registry Report Workload

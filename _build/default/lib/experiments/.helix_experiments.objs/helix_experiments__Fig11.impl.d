@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Executor Exp_common Helix_core Helix_machine Helix_ring Helix_workloads List Mach_config Printf Registry Report Ring Workload

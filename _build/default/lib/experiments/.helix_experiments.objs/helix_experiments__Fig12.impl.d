@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Executor Exp_common Helix Helix_core Helix_workloads List Overhead Registry Report Workload

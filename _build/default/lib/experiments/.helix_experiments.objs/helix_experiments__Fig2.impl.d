@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Alias Cfg Depend Exp_common Hashtbl Hcc Helix_analysis Helix_hcc Helix_ir Helix_workloads Interp Ir List Loops Memory Parallel_loop Registry Report

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Exp_common Hcc Helix_hcc Helix_workloads List Parallel_loop Registry Report

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Executor Exp_common Helix_core Helix_machine Helix_workloads List Registry Report Workload

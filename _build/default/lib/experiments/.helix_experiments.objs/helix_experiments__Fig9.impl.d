@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Exp_common Helix_core Helix_machine Helix_workloads List Registry Report Stats Workload

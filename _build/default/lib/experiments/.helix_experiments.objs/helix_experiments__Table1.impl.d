@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Exp_common Hcc Helix_hcc Helix_workloads List Registry Report Workload

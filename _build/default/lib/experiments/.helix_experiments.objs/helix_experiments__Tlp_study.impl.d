@@ -1,0 +1,1 @@
+lib/experiments/tlp_study.ml: Exp_common Float Hcc Helix_hcc Helix_workloads List Parallel_loop Registry Report Select

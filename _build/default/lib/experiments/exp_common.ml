@@ -1,0 +1,124 @@
+open Helix_ir
+open Helix_hcc
+open Helix_core
+open Helix_machine
+open Helix_workloads
+
+(* Shared plumbing for the paper's experiments: building, compiling and
+   simulating workloads under the different compiler versions and machine
+   configurations, with memoization so the bench harness does not repeat
+   identical simulations across figures. *)
+
+type version = V1 | V2 | V3
+
+let version_name = function V1 -> "HCCv1" | V2 -> "HCCv2" | V3 -> "HELIX-RC"
+
+let config_of = function
+  | V1 -> Hcc_config.v1
+  | V2 -> Hcc_config.v2
+  | V3 -> Hcc_config.v3
+
+(* ---- memo tables --------------------------------------------------- *)
+
+let seq_cache : (string * string, Executor.result) Hashtbl.t =
+  Hashtbl.create 16
+
+let compiled_cache : (string * string, Hcc.compiled) Hashtbl.t =
+  Hashtbl.create 16
+
+let par_cache : (string * string, Executor.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let core_kind_name (c : Mach_config.core_config) =
+  Printf.sprintf "%s%d"
+    (match c.Mach_config.kind with
+    | Mach_config.In_order -> "io"
+    | Mach_config.Out_of_order -> "ooo")
+    c.Mach_config.width
+
+(* Sequential baseline on one core of [mach]'s core type. *)
+let sequential ?(mach = Mach_config.default) (wl : Workload.t) :
+    Executor.result =
+  let key = (wl.Workload.name, core_kind_name mach.Mach_config.core) in
+  match Hashtbl.find_opt seq_cache key with
+  | Some r -> r
+  | None ->
+      let s = wl.Workload.build () in
+      let r =
+        Helix.run_sequential mach s.Workload.prog (s.Workload.init Workload.Ref)
+      in
+      Hashtbl.replace seq_cache key r;
+      r
+
+(* Compile [wl] with [version] targeting [cores]. *)
+let compiled ?(cores = 16) (wl : Workload.t) (version : version) :
+    Hcc.compiled =
+  let key =
+    (wl.Workload.name, Printf.sprintf "%s/%d" (version_name version) cores)
+  in
+  match Hashtbl.find_opt compiled_cache key with
+  | Some c -> c
+  | None ->
+      let s = wl.Workload.build () in
+      let c =
+        Hcc.compile
+          ((config_of version) ~target_cores:cores ())
+          s.Workload.prog s.Workload.layout
+          ~train_mem:(s.Workload.init Workload.Train)
+      in
+      (* remember the init function via a fresh build (same deterministic
+         data); store compiled only *)
+      Hashtbl.replace compiled_cache key c;
+      c
+
+(* Reference-input memory for a compiled program (deterministic rebuild). *)
+let ref_mem (wl : Workload.t) : Memory.t =
+  let s = wl.Workload.build () in
+  s.Workload.init Workload.Ref
+
+(* Parallel run; [tag] distinguishes executor configurations in the memo
+   key.  Pass [cache:false] for sweep points used only once. *)
+let parallel ?(cache = true) ~(tag : string) (wl : Workload.t)
+    (version : version) (exec_cfg : Executor.config) : Executor.result =
+  let key =
+    ( wl.Workload.name,
+      Printf.sprintf "%s/%d/%s" (version_name version)
+        exec_cfg.Executor.mach.Mach_config.n_cores tag )
+  in
+  match if cache then Hashtbl.find_opt par_cache key else None with
+  | Some r -> r
+  | None ->
+      let c =
+        compiled ~cores:exec_cfg.Executor.mach.Mach_config.n_cores wl version
+      in
+      let r = Executor.run ~compiled:c exec_cfg c.Hcc.cp_prog (ref_mem wl) in
+      if cache then Hashtbl.replace par_cache key r;
+      r
+
+(* Canonical executor configurations *)
+
+let conventional_cfg ?(mach = Mach_config.default) () =
+  Executor.default_config ~ring:false ~comm:Executor.fully_coupled mach
+
+let helix_cfg ?(mach = Mach_config.default) () =
+  Executor.default_config ~ring:true ~comm:Executor.fully_decoupled mach
+
+(* Conventional run of a version's code (HCCv1/v2 always run here). *)
+let run_conventional wl version =
+  parallel ~tag:"conv" wl version (conventional_cfg ())
+
+(* Full HELIX-RC run. *)
+let run_helix wl version = parallel ~tag:"helix" wl version (helix_cfg ())
+
+let speedup_of wl (par : Executor.result) =
+  Helix.speedup ~seq:(sequential wl) ~par
+
+let geomean = Helix.geomean
+
+(* ---- verification -------------------------------------------------- *)
+
+(* Check a simulated run against the reference interpreter. *)
+let verified (wl : Workload.t) (r : Executor.result) : bool =
+  let s = wl.Workload.build () in
+  let g = Helix.golden_run s.Workload.prog (s.Workload.init Workload.Ref) in
+  (Helix.verify g r).Helix.ok

@@ -1,0 +1,57 @@
+open Helix_core
+open Helix_workloads
+
+(* Figure 12: breakdown of the overheads that prevent ideal speedup, per
+   benchmark, for HELIX-RC on 16 in-order cores. *)
+
+type row = {
+  name : string;
+  overhead : Overhead.t;
+  speedup : float;
+}
+
+let run ?(workloads = Registry.all) () : row list =
+  List.map
+    (fun wl ->
+      let seq = Exp_common.sequential wl in
+      let par = Exp_common.run_helix wl Exp_common.V3 in
+      {
+        name = wl.Workload.name;
+        overhead =
+          Overhead.analyze ~n_cores:16
+            ~seq_retired:seq.Executor.r_retired par;
+        speedup = Helix.speedup ~seq ~par;
+      })
+    workloads
+
+let report (rows : row list) : Report.t =
+  let cat_names = List.map fst (Overhead.categories (List.hd rows).overhead) in
+  Report.make ~title:"Figure 12: overhead breakdown (HELIX-RC, 16 cores)"
+    ~header:
+      ("benchmark"
+      :: List.map
+           (fun n ->
+             (* compact column names *)
+             match n with
+             | "Additional Instructions" -> "add'l"
+             | "Wait/Signal Instructions" -> "w/s"
+             | "Memory" -> "mem"
+             | "Iteration Imbalance" -> "imbal"
+             | "Low Trip Count" -> "lowtrip"
+             | "Communication" -> "comm"
+             | "Dependence Waiting" -> "depwait"
+             | other -> other)
+           cat_names
+      @ [ "speedup" ])
+    (List.map
+       (fun r ->
+         r.name
+         :: List.map (fun (_, v) -> Report.pct v) (Overhead.categories r.overhead)
+         @ [ Report.xf r.speedup ])
+       rows)
+    ~notes:
+      [
+        "paper: communication is near zero for most benchmarks; vpr, \
+         twolf, bzip2, art are dominated by low trip count; gzip, parser, \
+         mcf, ammp by dependence waiting";
+      ]

@@ -1,0 +1,52 @@
+(* Minimal fixed-width table / series rendering for experiment output.
+   Every experiment produces a [t] that prints identically on the console
+   and into EXPERIMENTS.md code blocks. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~title ~header rows = { title; header; rows; notes }
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let xf x = Printf.sprintf "%.2fx" x
+
+let render (t : t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let all = t.header :: t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let pad = widths.(i) - String.length cell in
+          if i = 0 then cell ^ String.make pad ' '
+          else String.make pad ' ' ^ cell)
+        row
+    in
+    Buffer.add_string buf ("  " ^ String.concat "  " cells ^ "\n")
+  in
+  render_row t.header;
+  render_row
+    (List.init (List.length t.header) (fun i ->
+         String.make widths.(i) '-'));
+  List.iter render_row t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)

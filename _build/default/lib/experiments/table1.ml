@@ -1,0 +1,41 @@
+open Helix_hcc
+open Helix_workloads
+
+(* Table 1: characteristics of the parallelized benchmarks -- phases and
+   parallel-loop coverage per compiler version. *)
+
+type row = {
+  name : string;
+  phases : int;
+  cov_v3 : float;
+  cov_v2 : float;
+  cov_v1 : float;
+}
+
+let run ?(workloads = Registry.all) () : row list =
+  List.map
+    (fun wl ->
+      let cov v = (Exp_common.compiled wl v).Hcc.cp_coverage in
+      {
+        name = wl.Workload.name;
+        phases = wl.Workload.phases;
+        cov_v3 = cov Exp_common.V3;
+        cov_v2 = cov Exp_common.V2;
+        cov_v1 = cov Exp_common.V1;
+      })
+    workloads
+
+let report (rows : row list) : Report.t =
+  Report.make ~title:"Table 1: parallel loop coverage"
+    ~header:[ "benchmark"; "phases"; "HELIX-RC"; "HCCv2"; "HCCv1" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           string_of_int r.phases;
+           Report.pct r.cov_v3;
+           Report.pct r.cov_v2;
+           Report.pct r.cov_v1;
+         ])
+       rows)
+    ~notes:[ "paper: HELIX-RC reaches >98% on every benchmark" ]

@@ -1,0 +1,1 @@
+lib/hcc/codegen.mli: Cfg Hcc_config Helix_analysis Helix_ir Ir Memory Parallel_loop

@@ -1,0 +1,1 @@
+lib/hcc/hcc.ml: Cfg Codegen Hashtbl Hcc_config Helix_analysis Helix_ir Ir List Loops Memory Option Parallel_loop Perf_model Profiler Select Transform Verify

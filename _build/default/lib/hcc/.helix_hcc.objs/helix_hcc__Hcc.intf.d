@@ -1,0 +1,1 @@
+lib/hcc/hcc.mli: Hcc_config Helix_analysis Helix_ir Ir Loops Memory Parallel_loop Profiler Select

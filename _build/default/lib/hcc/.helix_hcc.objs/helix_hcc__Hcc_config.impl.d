@@ -1,0 +1,1 @@
+lib/hcc/hcc_config.ml: Alias Helix_analysis

@@ -1,0 +1,1 @@
+lib/hcc/hcc_config.mli: Alias Helix_analysis

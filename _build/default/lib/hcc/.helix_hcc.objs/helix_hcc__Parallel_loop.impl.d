@@ -1,0 +1,1 @@
+lib/hcc/parallel_loop.ml: Helix_ir Ir List

@@ -1,0 +1,1 @@
+lib/hcc/perf_model.ml: Float List Parallel_loop Profiler

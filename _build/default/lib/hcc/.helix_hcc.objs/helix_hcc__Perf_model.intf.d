@@ -1,0 +1,1 @@
+lib/hcc/perf_model.mli: Parallel_loop Profiler

@@ -1,0 +1,1 @@
+lib/hcc/profiler.ml: Hashtbl Helix_analysis Helix_ir Interp Ir List Loops Memory

@@ -1,0 +1,1 @@
+lib/hcc/profiler.mli: Helix_analysis Helix_ir Ir Loops Memory

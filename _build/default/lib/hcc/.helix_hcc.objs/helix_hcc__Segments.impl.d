@@ -1,0 +1,1 @@
+lib/hcc/segments.ml: Alias Depend Helix_analysis Helix_ir Ir List

@@ -1,0 +1,1 @@
+lib/hcc/segments.mli: Alias Depend Helix_analysis Helix_ir Ir

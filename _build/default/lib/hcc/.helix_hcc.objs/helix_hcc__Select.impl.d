@@ -1,0 +1,1 @@
+lib/hcc/select.ml: Helix_analysis List Loops Parallel_loop Perf_model Profiler

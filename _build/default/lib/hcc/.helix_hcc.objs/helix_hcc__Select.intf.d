@@ -1,0 +1,1 @@
+lib/hcc/select.mli: Helix_analysis Loops Parallel_loop Perf_model Profiler

@@ -1,0 +1,1 @@
+lib/hcc/transform.ml: Defuse Hashtbl Helix_analysis Helix_ir Ir List Loops

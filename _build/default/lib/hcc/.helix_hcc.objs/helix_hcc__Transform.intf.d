@@ -1,0 +1,1 @@
+lib/hcc/transform.mli: Hashtbl Helix_analysis Helix_ir Ir Loops

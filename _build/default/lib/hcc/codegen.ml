@@ -1,0 +1,849 @@
+open Helix_ir
+open Helix_analysis
+
+(* Parallel-loop code generation.
+
+   Given a canonical loop, produce the per-iteration body function and the
+   [Parallel_loop.t] metadata the runtime executes:
+
+   - predictable registers are removed from cross-iteration communication:
+     induction variables (degree <= 2) are recomputed from the iteration
+     index in a prologue; reductions accumulate into per-core partial
+     cells; last-value variables privatize into per-core (value, stamp)
+     cells;
+   - unpredictable registers are demoted to shared memory cells
+     ("specially-allocated memory locations", Section 3.1) accessed inside
+     sequential segments;
+   - wait/signal brackets delimit each segment, tightly where the CFG
+     shape allows (single dominating block, or the arms of a diamond as in
+     Figure 5), conservatively around the whole body otherwise. *)
+
+type input = {
+  cg_prog : Ir.program;
+  cg_layout : Memory.Layout.t;
+  cg_config : Hcc_config.t;
+}
+
+(* Execution-order comparison of two positions, when statically decidable:
+   same block compares indices; otherwise strict dominance. *)
+let before (dom : Dominance.t) a b =
+  if a.Ir.ip_block = b.Ir.ip_block then Some (a.Ir.ip_index < b.Ir.ip_index)
+  else if Dominance.strictly_dominates dom a.Ir.ip_block b.Ir.ip_block then
+    Some true
+  else if Dominance.strictly_dominates dom b.Ir.ip_block a.Ir.ip_block then
+    Some false
+  else None
+
+let sign_of_op = function Ir.Add -> 1 | Ir.Sub -> -1 | _ -> 1
+
+(* -------------------------------------------------------------------- *)
+
+exception Bail of string
+
+let bail fmt = Printf.ksprintf (fun s -> raise (Bail s)) fmt
+
+(* Mirror a comparison when the induction variable sits on the right. *)
+let mirror_cmp = function
+  | Ir.Lt -> Ir.Gt
+  | Ir.Le -> Ir.Ge
+  | Ir.Gt -> Ir.Lt
+  | Ir.Ge -> Ir.Le
+  | op -> op
+
+let compile_loop (input : input) (f : Ir.func) (cfg : Cfg.t)
+    (lp : Loops.loop) ~(loop_id : int) : Parallel_loop.t option =
+  let cfgc = input.cg_config in
+  let n_cores = cfgc.Hcc_config.target_cores in
+  try
+    let canon =
+      match Transform.canonicalize f lp with
+      | Some c -> c
+      | None -> bail "not canonical"
+    in
+    let du = Defuse.compute f in
+    let live = Liveness.compute cfg in
+    let dom = Dominance.compute cfg in
+    let in_loop pos = Loops.contains lp pos.Ir.ip_block in
+    let live_out_reg r =
+      Dataflow.Int_set.mem r (live.Liveness.live_in canon.Transform.c_exit)
+    in
+    (* ---- classification of carried registers ---- *)
+    let cls =
+      Predictable.classify ~poly2:cfgc.Hcc_config.poly2
+        ~recognize_reductions:cfgc.Hcc_config.recognize_reductions
+        ~recognize_dead:cfgc.Hcc_config.recognize_dead
+        ~recognize_set_every:cfgc.Hcc_config.recognize_set_every f cfg lp
+    in
+    (* registers defined in the loop and live at the exit but not live at
+       the header: value escapes the loop; privatize with last-value *)
+    let carried = List.map (fun c -> c.Predictable.c_reg) cls in
+    let extra =
+      Loops.defined_regs f lp |> Loops.Label_set.elements
+      |> List.filter (fun r ->
+             (not (List.mem r carried)) && live_out_reg r)
+      |> List.map (fun r ->
+             let uses = List.filter in_loop (Defuse.uses_of du r) in
+             let cat =
+               if not cfgc.Hcc_config.recognize_dead then
+                 Predictable.Unpredictable
+               else if uses = [] then Predictable.Dead_in_loop
+               else Predictable.Set_every_iter
+             in
+             { Predictable.c_reg = r; c_category = cat; c_iv = None })
+    in
+    let cls = cls @ extra in
+    (* validate reductions: the accumulator may only be read by its own
+       update; otherwise demote to unpredictable *)
+    let cls =
+      List.map
+        (fun c ->
+          match c.Predictable.c_category with
+          | Predictable.Reduction -> begin
+              match Induction.update_sites f du lp c.Predictable.c_reg with
+              | Some us ->
+                  let uses =
+                    List.filter in_loop (Defuse.uses_of du c.Predictable.c_reg)
+                  in
+                  let term_uses =
+                    Defuse.term_uses_of du c.Predictable.c_reg
+                    |> List.filter (Loops.contains lp)
+                  in
+                  if
+                    term_uses = []
+                    && List.for_all (fun u -> u = us.Induction.us_binop) uses
+                  then c
+                  else
+                    { c with Predictable.c_category = Predictable.Unpredictable }
+              | None ->
+                  { c with Predictable.c_category = Predictable.Unpredictable }
+            end
+          | _ -> c)
+        cls
+    in
+    (* ---- induction variable closed forms ---- *)
+    let iv_infos =
+      List.filter_map
+        (fun c ->
+          match (c.Predictable.c_category, c.Predictable.c_iv) with
+          | Predictable.Induction, Some iv -> begin
+              let r = c.Predictable.c_reg in
+              match iv.Induction.iv_kind with
+              | Induction.Basic step ->
+                  Some
+                    {
+                      Parallel_loop.ivi_reg = r;
+                      ivi_form =
+                        Parallel_loop.Linear
+                          { step; sign = sign_of_op iv.Induction.iv_op };
+                      ivi_live_out = live_out_reg r;
+                    }
+              | Induction.Polynomial2 s -> begin
+                  (* closed form needs the static order of the two updates *)
+                  let us_r =
+                    match Induction.update_sites f du lp r with
+                    | Some u -> u
+                    | None -> bail "poly2 without update sites"
+                  in
+                  let us_s =
+                    match Induction.update_sites f du lp s with
+                    | Some u -> u
+                    | None -> bail "poly2 step without update sites"
+                  in
+                  match before dom us_s.Induction.us_mov us_r.Induction.us_binop with
+                  | None -> bail "poly2 phase undecidable"
+                  | Some s_first ->
+                      Some
+                        {
+                          Parallel_loop.ivi_reg = r;
+                          ivi_form =
+                            Parallel_loop.Quadratic
+                              {
+                                step_reg = s;
+                                step = us_s.Induction.us_other;
+                                sign = sign_of_op us_r.Induction.us_op;
+                                inner_sign = sign_of_op us_s.Induction.us_op;
+                                phase = (if s_first then 1 else 0);
+                              };
+                          ivi_live_out = live_out_reg r;
+                        }
+                end
+              | _ -> None
+            end
+          | _ -> None)
+        cls
+    in
+    let is_iv r =
+      List.exists (fun i -> i.Parallel_loop.ivi_reg = r) iv_infos
+    in
+    (* a classified Induction register whose closed form failed would have
+       bailed already; every Induction entry maps to an iv_info *)
+    let unpredictable =
+      List.filter_map
+        (fun c ->
+          match c.Predictable.c_category with
+          | Predictable.Unpredictable -> Some c.Predictable.c_reg
+          | Predictable.Induction when not (is_iv c.Predictable.c_reg) ->
+              Some c.Predictable.c_reg
+          | _ -> None)
+        cls
+    in
+    let reductions_regs =
+      List.filter_map
+        (fun c ->
+          match (c.Predictable.c_category, c.Predictable.c_iv) with
+          | Predictable.Reduction, Some iv -> Some (c.Predictable.c_reg, iv)
+          | _ -> None)
+        cls
+    in
+    let lastval_regs =
+      List.filter_map
+        (fun c ->
+          match c.Predictable.c_category with
+          | Predictable.Dead_in_loop | Predictable.Set_every_iter ->
+              Some c.Predictable.c_reg
+          | _ -> None)
+        cls
+    in
+    (* ---- loop kind (trip count recipe) ---- *)
+    let invariant = Induction.invariant f lp in
+    let kind =
+      let hb = Ir.block_of_func f canon.Transform.c_header in
+      let cond_reg =
+        match canon.Transform.c_cond with
+        | Ir.Reg r -> Some r
+        | Ir.Imm _ -> None
+      in
+      let def_in_header r =
+        List.find_map
+          (fun ins ->
+            if List.mem r (Ir.defs_of_instr ins) then Some ins else None)
+          hb.Ir.b_instrs
+      in
+      match Option.map def_in_header cond_reg with
+      | Some (Some (Ir.Binop (_, cmp, a, b)))
+        when List.mem cmp [ Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge; Ir.Ne ] -> begin
+          let mk iv bound cmp =
+            match
+              List.find_opt (fun i -> i.Parallel_loop.ivi_reg = iv) iv_infos
+            with
+            | Some
+                { Parallel_loop.ivi_form = Parallel_loop.Linear { step; sign };
+                  _ }
+              when invariant bound ->
+                Some
+                  (Parallel_loop.Counted
+                     {
+                       Parallel_loop.civ = iv;
+                       cstep = step;
+                       csign = sign;
+                       cbound = bound;
+                       ccmp = cmp;
+                     })
+            | _ -> None
+          in
+          let k =
+            match (a, b) with
+            | Ir.Reg iv, bound when is_iv iv -> mk iv bound cmp
+            | bound, Ir.Reg iv when is_iv iv -> mk iv bound (mirror_cmp cmp)
+            | _ -> None
+          in
+          match k with Some k -> k | None -> Parallel_loop.Conditional
+        end
+      | _ -> Parallel_loop.Conditional
+    in
+    (* ---- memory dependences and shared classes ---- *)
+    let deps =
+      Depend.compute cfgc.Hcc_config.tier input.cg_prog f lp
+    in
+    let opaque =
+      List.exists
+        (fun n -> n.Depend.mn_effect.Alias.e_opaque)
+        deps.Depend.ld_nodes
+    in
+    let mem_classes =
+      Depend.shared_classes cfgc.Hcc_config.tier deps.Depend.ld_shared
+      |> List.map (fun annots ->
+             (annots, Segments.mem_positions cfgc.Hcc_config.tier deps annots))
+    in
+    (* shared-register cells *)
+    let shared_cells =
+      List.map
+        (fun r ->
+          let region =
+            Memory.Layout.alloc input.cg_layout
+              (Printf.sprintf "hcc.l%d.reg%d" loop_id r)
+              1
+          in
+          let annot =
+            Ir.annot ~path:(Printf.sprintf "reg%d" r) ~ty:"word"
+              region.Memory.Layout.site
+          in
+          let positions =
+            List.sort_uniq compare
+              (List.filter in_loop (Defuse.defs_of du r)
+              @ List.filter in_loop (Defuse.uses_of du r))
+          in
+          (* shared registers used by in-loop terminators are not
+             supported (the bracket cannot cover a terminator) *)
+          if
+            Defuse.term_uses_of du r |> List.exists (Loops.contains lp)
+          then bail "shared register used in terminator";
+          (r, region.Memory.Layout.base, annot, positions))
+        unpredictable
+    in
+    let reg_classes =
+      List.map (fun (_, _, annot, positions) -> ([ annot ], positions))
+        shared_cells
+    in
+    let all_classes = mem_classes @ reg_classes in
+    (* no segment access may live in the header: the bracket would not
+       cover the exit evaluation *)
+    List.iter
+      (fun (_, positions) ->
+        if
+          List.exists
+            (fun p -> p.Ir.ip_block = canon.Transform.c_header)
+            positions
+        then bail "segment access in loop header")
+      all_classes;
+    let segs =
+      Segments.build ~max_segments:cfgc.Hcc_config.max_segments ~opaque
+        all_classes
+    in
+    let seg_of_annot a =
+      List.find_opt
+        (fun s -> List.exists (fun b -> b = a) s.Segments.seg_annots)
+        segs
+    in
+    let shared_regs =
+      List.map
+        (fun (r, addr, annot, _) ->
+          match seg_of_annot annot with
+          | Some s ->
+              {
+                Parallel_loop.sr_reg = r;
+                sr_addr = addr;
+                sr_segment = s.Segments.seg_id;
+                sr_live_out = live_out_reg r;
+              }
+          | None -> bail "shared register lost its segment")
+        shared_cells
+    in
+    let annot_of_shared_reg r =
+      let _, _, annot, _ =
+        List.find (fun (r', _, _, _) -> r' = r) shared_cells
+      in
+      annot
+    in
+    (* ---- placement per segment ---- *)
+    let latch = canon.Transform.c_latch in
+    let placement_of (s : Segments.t) : Parallel_loop.placement =
+      let blocks =
+        List.sort_uniq compare
+          (List.map (fun p -> p.Ir.ip_block) s.Segments.seg_positions)
+      in
+      match blocks with
+      | [] -> Parallel_loop.Tight { bracket = []; empty = [] }
+      | [ b ] when Dominance.dominates dom b latch ->
+          Parallel_loop.Tight { bracket = [ b ]; empty = [] }
+      | bs when cfgc.Hcc_config.diamond_placement -> begin
+          (* all blocks must be arms of one diamond: common predecessor p
+             branching to exactly the arm set, all arms jumping to one
+             join, and p dominating the latch *)
+          let arm_info b =
+            let preds =
+              Cfg.predecessors cfg b |> List.filter (Cfg.is_reachable cfg)
+            in
+            match preds with
+            | [ p ] -> begin
+                let pb = Ir.block_of_func f p in
+                match (pb.Ir.b_term, (Ir.block_of_func f b).Ir.b_term) with
+                | Ir.Br (_, t1, t2), Ir.Jmp j -> Some (p, [ t1; t2 ], j)
+                | _ -> None
+              end
+            | _ -> None
+          in
+          match arm_info (List.hd bs) with
+          | Some (p, arms, join)
+            when Dominance.dominates dom p latch
+                 && List.for_all (fun b -> List.mem b arms) bs
+                 && List.for_all
+                      (fun a ->
+                        match arm_info a with
+                        | Some (p', _, j') -> p' = p && j' = join
+                        | None -> false)
+                      arms
+                 && Loops.contains lp p ->
+              let empty = List.filter (fun a -> not (List.mem a bs)) arms in
+              Parallel_loop.Tight { bracket = bs; empty }
+          | _ -> Parallel_loop.Loop_wide
+        end
+      | _ -> Parallel_loop.Loop_wide
+    in
+    let body_static = Loops.instr_positions f lp |> List.length in
+    let seg_infos =
+      List.map
+        (fun s ->
+          let placement = placement_of s in
+          let footprint =
+            match placement with
+            | Parallel_loop.Loop_wide -> body_static
+            | Parallel_loop.Tight { bracket; _ } ->
+                (* span of the bracketed region in each block *)
+                let span b =
+                  let idxs =
+                    List.filter_map
+                      (fun p ->
+                        if p.Ir.ip_block = b then Some p.Ir.ip_index else None)
+                      s.Segments.seg_positions
+                  in
+                  match idxs with
+                  | [] -> 0
+                  | _ ->
+                      List.fold_left max 0 idxs
+                      - List.fold_left min max_int idxs
+                      + 1
+                in
+                List.fold_left (fun acc b -> acc + span b) 0 bracket
+          in
+          {
+            Parallel_loop.si_id = s.Segments.seg_id;
+            si_annots = s.Segments.seg_annots;
+            si_placement = placement;
+            si_footprint = max 1 footprint;
+          })
+        segs
+    in
+    (* ---- scratch regions for reductions and last-values ---- *)
+    let reductions =
+      List.map
+        (fun (r, iv) ->
+          let region =
+            Memory.Layout.alloc input.cg_layout
+              (Printf.sprintf "hcc.l%d.red%d" loop_id r)
+              n_cores
+          in
+          {
+            Parallel_loop.rd_reg = r;
+            rd_op = iv.Induction.iv_op;
+            rd_base = region.Memory.Layout.base;
+            rd_identity = Parallel_loop.identity_of_op iv.Induction.iv_op;
+            rd_live_out = live_out_reg r;
+          })
+        reductions_regs
+    in
+    let lastvals =
+      List.map
+        (fun r ->
+          let vreg =
+            Memory.Layout.alloc input.cg_layout
+              (Printf.sprintf "hcc.l%d.lastv%d" loop_id r)
+              n_cores
+          in
+          let ireg =
+            Memory.Layout.alloc input.cg_layout
+              (Printf.sprintf "hcc.l%d.lasti%d" loop_id r)
+              n_cores
+          in
+          {
+            Parallel_loop.lv_reg = r;
+            lv_val_base = vreg.Memory.Layout.base;
+            lv_iter_base = ireg.Memory.Layout.base;
+            lv_live_out = live_out_reg r;
+          })
+        lastval_regs
+    in
+    let scratch =
+      List.map (fun sr -> (sr.Parallel_loop.sr_addr, 1)) shared_regs
+      @ List.map (fun rd -> (rd.Parallel_loop.rd_base, n_cores)) reductions
+      @ List.concat_map
+          (fun lv ->
+            [ (lv.Parallel_loop.lv_val_base, n_cores);
+              (lv.Parallel_loop.lv_iter_base, n_cores) ])
+          lastvals
+    in
+    (* ---- parameters of the body function ---- *)
+    let demoted r =
+      List.exists (fun (r', _, _, _) -> r' = r) shared_cells
+      || List.exists (fun (r', _) -> r' = r) reductions_regs
+      || List.mem r lastval_regs
+    in
+    let used_in_loop =
+      Ir.fold_instrs f Dataflow.Int_set.empty (fun acc pos ins ->
+          if in_loop pos then
+            List.fold_left
+              (fun s r -> Dataflow.Int_set.add r s)
+              acc (Ir.uses_of_instr ins)
+          else acc)
+    in
+    let used_in_loop =
+      List.fold_left
+        (fun acc l ->
+          if Loops.contains lp l then
+            List.fold_left
+              (fun s r -> Dataflow.Int_set.add r s)
+              acc
+              (Ir.uses_of_term (Ir.block_of_func f l).Ir.b_term)
+          else acc)
+        used_in_loop f.Ir.f_order
+    in
+    let params =
+      Dataflow.Int_set.elements
+        (Dataflow.Int_set.inter used_in_loop
+           (live.Liveness.live_in canon.Transform.c_header))
+      |> List.filter (fun r -> not (demoted r))
+    in
+    (* ---- build the body function ---- *)
+    let body_name = Printf.sprintf "%s$loop%d$body" f.Ir.f_name loop_id in
+    let bf = Ir.create_func ~params:[] body_name 0 in
+    bf.Ir.f_next_label <- f.Ir.f_next_label + 1;
+    bf.Ir.f_next_reg <- f.Ir.f_next_reg;
+    let iter_reg = Ir.fresh_reg bf in
+    let bf =
+      { bf with Ir.f_params = iter_reg :: params }
+    in
+    let fresh () = Ir.fresh_reg bf in
+    let prologue = { Ir.b_label = 0; b_instrs = []; b_term = Ir.Ret None } in
+    Ir.add_block bf prologue;
+    let emit ins = prologue.Ir.b_instrs <- prologue.Ir.b_instrs @ [ ins ] in
+    (* quadratics first: they read the step register's entry value *)
+    let quad, lin =
+      List.partition
+        (fun i ->
+          match i.Parallel_loop.ivi_form with
+          | Parallel_loop.Quadratic _ -> true
+          | Parallel_loop.Linear _ -> false)
+        iv_infos
+    in
+    List.iter
+      (fun i ->
+        match i.Parallel_loop.ivi_form with
+        | Parallel_loop.Quadratic { step_reg; step; sign; inner_sign; phase }
+          ->
+            let r = i.Parallel_loop.ivi_reg in
+            (* tri = i*(i-1)/2 + phase*i *)
+            let a = fresh () in
+            emit (Ir.Binop (a, Ir.Sub, Ir.Reg iter_reg, Ir.Imm 1));
+            let b = fresh () in
+            emit (Ir.Binop (b, Ir.Mul, Ir.Reg iter_reg, Ir.Reg a));
+            let tri = fresh () in
+            emit (Ir.Binop (tri, Ir.Div, Ir.Reg b, Ir.Imm 2));
+            let tri2 =
+              if phase = 1 then begin
+                let t = fresh () in
+                emit (Ir.Binop (t, Ir.Add, Ir.Reg tri, Ir.Reg iter_reg));
+                t
+              end
+              else tri
+            in
+            let st = fresh () in
+            emit (Ir.Binop (st, Ir.Mul, step, Ir.Reg tri2));
+            let lin_part = fresh () in
+            emit
+              (Ir.Binop (lin_part, Ir.Mul, Ir.Reg iter_reg, Ir.Reg step_reg));
+            let sum = fresh () in
+            emit
+              (Ir.Binop
+                 ( sum,
+                   (if inner_sign >= 0 then Ir.Add else Ir.Sub),
+                   Ir.Reg lin_part, Ir.Reg st ));
+            emit
+              (Ir.Binop
+                 ( r,
+                   (if sign >= 0 then Ir.Add else Ir.Sub),
+                   Ir.Reg r, Ir.Reg sum ))
+        | Parallel_loop.Linear _ -> ())
+      quad;
+    List.iter
+      (fun i ->
+        match i.Parallel_loop.ivi_form with
+        | Parallel_loop.Linear { step; sign } ->
+            let r = i.Parallel_loop.ivi_reg in
+            let t = fresh () in
+            emit (Ir.Binop (t, Ir.Mul, Ir.Reg iter_reg, step));
+            emit
+              (Ir.Binop
+                 ( r,
+                   (if sign >= 0 then Ir.Add else Ir.Sub),
+                   Ir.Reg r, Ir.Reg t ))
+        | Parallel_loop.Quadratic _ -> ())
+      lin;
+    (* per-core slot for private cells, and the iteration stamp; only
+       materialized when some register is privatized *)
+    let slot =
+      if reductions = [] && lastvals = [] then iter_reg
+      else begin
+        let s = fresh () in
+        emit (Ir.Binop (s, Ir.Rem, Ir.Reg iter_reg, Ir.Imm n_cores));
+        s
+      end
+    in
+    let stamp =
+      if lastvals = [] then iter_reg
+      else begin
+        let s = fresh () in
+        emit (Ir.Binop (s, Ir.Add, Ir.Reg iter_reg, Ir.Imm 1));
+        s
+      end
+    in
+    let red_cell =
+      List.map
+        (fun rd ->
+          let c = fresh () in
+          emit
+            (Ir.Binop
+               (c, Ir.Add, Ir.Imm rd.Parallel_loop.rd_base, Ir.Reg slot));
+          (rd.Parallel_loop.rd_reg, (rd, c)))
+        reductions
+    in
+    let lv_cells =
+      List.map
+        (fun lv ->
+          let vc = fresh () in
+          emit
+            (Ir.Binop
+               (vc, Ir.Add, Ir.Imm lv.Parallel_loop.lv_val_base, Ir.Reg slot));
+          let ic = fresh () in
+          emit
+            (Ir.Binop
+               (ic, Ir.Add, Ir.Imm lv.Parallel_loop.lv_iter_base, Ir.Reg slot));
+          (lv.Parallel_loop.lv_reg, (lv, vc, ic)))
+        lastvals
+    in
+    (* clone the loop blocks *)
+    let ret0 = Ir.fresh_label bf in
+    let ret1 = Ir.fresh_label bf in
+    let body_labels = Loops.Label_set.elements lp.Loops.l_body in
+    let map =
+      (* canonical loops exit only through the header to [c_exit] *)
+      Transform.clone_blocks ~src:f ~dst:bf ~labels:body_labels
+        ~redirect:(fun _ -> ret0)
+    in
+    Ir.add_block bf { Ir.b_label = ret0; b_instrs = []; b_term = Ir.Ret (Some (Ir.Imm 0)) };
+    Ir.add_block bf { Ir.b_label = ret1; b_instrs = []; b_term = Ir.Ret (Some (Ir.Imm 1)) };
+    prologue.Ir.b_term <-
+      Ir.Jmp (Hashtbl.find map canon.Transform.c_header);
+    (* the cloned latch returns 1 instead of looping *)
+    let cloned_latch = Ir.block_of_func bf (Hashtbl.find map latch) in
+    (match cloned_latch.Ir.b_term with
+    | Ir.Jmp t when t = Hashtbl.find map canon.Transform.c_header ->
+        cloned_latch.Ir.b_term <- Ir.Jmp ret1
+    | _ -> bail "latch shape changed during cloning");
+    (* ---- per-block rewriting ---- *)
+    (* bracket bookkeeping: for each Tight segment, the first and last
+       access index per original block *)
+    let bracket_bounds = Hashtbl.create 17 in
+    (* (seg, block) -> (first_idx, last_idx) *)
+    let record_bounds seg_id positions =
+      List.iter
+        (fun p ->
+          let k = (seg_id, p.Ir.ip_block) in
+          let lo, hi =
+            try Hashtbl.find bracket_bounds k
+            with Not_found -> (max_int, -1)
+          in
+          Hashtbl.replace bracket_bounds k
+            (min lo p.Ir.ip_index, max hi p.Ir.ip_index))
+        positions
+    in
+    List.iter
+      (fun (s : Segments.t) -> record_bounds s.Segments.seg_id s.Segments.seg_positions)
+      segs;
+    let tight_of_block b =
+      (* segments with an in-block bracket in original block [b] *)
+      List.filter_map
+        (fun si ->
+          match si.Parallel_loop.si_placement with
+          | Parallel_loop.Tight { bracket; _ }
+            when List.mem b bracket ->
+              Some si.Parallel_loop.si_id
+          | _ -> None)
+        seg_infos
+    in
+    let empty_of_block b =
+      List.filter_map
+        (fun si ->
+          match si.Parallel_loop.si_placement with
+          | Parallel_loop.Tight { empty; _ } when List.mem b empty ->
+              Some si.Parallel_loop.si_id
+          | _ -> None)
+        seg_infos
+    in
+    let loop_wide_segs =
+      List.filter_map
+        (fun si ->
+          match si.Parallel_loop.si_placement with
+          | Parallel_loop.Loop_wide -> Some si.Parallel_loop.si_id
+          | _ -> None)
+        seg_infos
+    in
+    let shared_reg_of r =
+      List.find_opt (fun sr -> sr.Parallel_loop.sr_reg = r) shared_regs
+    in
+    let added = ref 0 in
+    let rewrite_block orig_label =
+      let cl = Hashtbl.find map orig_label in
+      let cb = Ir.block_of_func bf cl in
+      let tight = tight_of_block orig_label in
+      let out = ref [] in
+      let push ins = out := ins :: !out in
+      let push_added ins = incr added; push ins in
+      (* non-accessing diamond arms: HCCv3 eliminates the unnecessary
+         wait (the iteration forgoes the segment and notifies its
+         successors immediately, Figure 5c); earlier versions must keep
+         the wait to preserve the signal chain *)
+      List.iter
+        (fun s ->
+          if not cfgc.Hcc_config.eliminate_waits then push_added (Ir.Wait s);
+          push_added (Ir.Signal s))
+        (empty_of_block orig_label);
+      (* loop-wide bracket entry at the body entry block *)
+      if orig_label = canon.Transform.c_body_entry then
+        List.iter (fun s -> push_added (Ir.Wait s)) loop_wide_segs;
+      let avail = Hashtbl.create 7 in
+      List.iteri
+        (fun idx ins ->
+          let pos = { Ir.ip_block = orig_label; ip_index = idx } in
+          (* opening tight brackets *)
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt bracket_bounds (s, orig_label) with
+              | Some (lo, _) when lo = idx -> push_added (Ir.Wait s)
+              | _ -> ())
+            tight;
+          (* materialize shared registers used by this instruction *)
+          List.iter
+            (fun r ->
+              match shared_reg_of r with
+              | Some sr when not (Hashtbl.mem avail r) ->
+                  push_added
+                    (Ir.Load
+                       ( r,
+                         {
+                           Ir.base = Ir.Imm sr.Parallel_loop.sr_addr;
+                           offset = Ir.Imm 0;
+                           annot = annot_of_shared_reg r;
+                         } ));
+                  Hashtbl.replace avail r ()
+              | _ -> ())
+            (Ir.uses_of_instr ins);
+          (* the instruction itself, possibly transformed *)
+          let handled = ref false in
+          (* reduction update rewrite *)
+          List.iter
+            (fun (r, (rd, cell)) ->
+              match Induction.update_sites f du lp r with
+              | Some us when us.Induction.us_binop = pos && us.Induction.us_mov = pos ->
+                  (* direct form: r = op r, x *)
+                  let t = fresh () in
+                  push_added
+                    (Ir.Load (t, Ir.mk_addr (Ir.Reg cell)));
+                  let t2 = fresh () in
+                  let op' =
+                    match rd.Parallel_loop.rd_op with
+                    | Ir.Sub -> Ir.Add
+                    | o -> o
+                  in
+                  push_added (Ir.Binop (t2, op', Ir.Reg t, us.Induction.us_other));
+                  push_added (Ir.Store (Ir.mk_addr (Ir.Reg cell), Ir.Reg t2));
+                  handled := true
+              | Some us when us.Induction.us_binop = pos ->
+                  (* split form, arithmetic part: s = op r, x  =>
+                     s = op' partial, x *)
+                  let t = fresh () in
+                  push_added (Ir.Load (t, Ir.mk_addr (Ir.Reg cell)));
+                  let dst =
+                    match ins with
+                    | Ir.Binop (d, _, _, _) -> d
+                    | _ -> bail "reduction binop shape"
+                  in
+                  let op' =
+                    match rd.Parallel_loop.rd_op with
+                    | Ir.Sub -> Ir.Add
+                    | o -> o
+                  in
+                  push_added (Ir.Binop (dst, op', Ir.Reg t, us.Induction.us_other));
+                  handled := true
+              | Some us when us.Induction.us_mov = pos ->
+                  (* commit part: mov r, s  =>  store cell, s *)
+                  let src =
+                    match ins with
+                    | Ir.Mov (_, s) -> s
+                    | _ -> bail "reduction mov shape"
+                  in
+                  push_added (Ir.Store (Ir.mk_addr (Ir.Reg cell), src));
+                  handled := true
+              | _ -> ())
+            red_cell;
+          if not !handled then begin
+            push ins;
+            (* spill shared-register definitions *)
+            List.iter
+              (fun r ->
+                match shared_reg_of r with
+                | Some sr ->
+                    push_added
+                      (Ir.Store
+                         ( {
+                             Ir.base = Ir.Imm sr.Parallel_loop.sr_addr;
+                             offset = Ir.Imm 0;
+                             annot = annot_of_shared_reg r;
+                           },
+                           Ir.Reg r ));
+                    Hashtbl.replace avail r ()
+                | None -> ())
+              (Ir.defs_of_instr ins);
+            (* last-value privatization: stamp every definition *)
+            List.iter
+              (fun r ->
+                match List.assoc_opt r lv_cells with
+                | Some (_, vc, ic) ->
+                    push_added (Ir.Store (Ir.mk_addr (Ir.Reg vc), Ir.Reg r));
+                    push_added (Ir.Store (Ir.mk_addr (Ir.Reg ic), Ir.Reg stamp))
+                | None -> ())
+              (Ir.defs_of_instr ins)
+          end;
+          (* closing tight brackets *)
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt bracket_bounds (s, orig_label) with
+              | Some (_, hi) when hi = idx -> push_added (Ir.Signal s)
+              | _ -> ())
+            tight)
+        cb.Ir.b_instrs;
+      (* loop-wide bracket exit at the latch *)
+      if orig_label = latch then
+        List.iter (fun s -> push_added (Ir.Signal s)) loop_wide_segs;
+      cb.Ir.b_instrs <- List.rev !out
+    in
+    List.iter rewrite_block body_labels;
+    Verify.check_func bf;
+    Ir.add_func input.cg_prog bf;
+    Some
+      {
+        Parallel_loop.pl_id = loop_id;
+        pl_func = f.Ir.f_name;
+        pl_header = canon.Transform.c_header;
+        pl_exit = canon.Transform.c_exit;
+        pl_body_fn = body_name;
+        pl_iter_reg = iter_reg;
+        pl_params = params;
+        pl_kind = kind;
+        pl_segments = seg_infos;
+        pl_ivs = iv_infos;
+        pl_reductions = reductions;
+        pl_lastvals = lastvals;
+        pl_shared_regs = shared_regs;
+        pl_scratch = scratch;
+        pl_n_cores = n_cores;
+        pl_body_static_instrs = body_static;
+        pl_added_static_instrs = !added;
+        pl_mean_segment_size = Segments.mean_size segs;
+        pl_carried_reg_count = List.length cls;
+        pl_mem_class_count = List.length mem_classes;
+      }
+  with Bail reason ->
+    Logs.debug (fun m ->
+        m "codegen: loop %d in %s not parallelized: %s" loop_id f.Ir.f_name
+          reason);
+    None

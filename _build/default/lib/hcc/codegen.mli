@@ -1,0 +1,27 @@
+open Helix_ir
+
+(** Parallel-loop code generation: from a canonical loop to the
+    per-iteration body function plus the [Parallel_loop.t] metadata the
+    runtime executes.
+
+    Predictable registers leave the communication set (closed-form
+    induction recomputation, per-core reduction partials, stamped
+    last-value cells); unpredictable registers are demoted to shared
+    memory cells; wait/signal brackets delimit each sequential segment —
+    tightly in a single dominating block or across the arms of a
+    Figure-5 diamond (with signal-only empty arms when the version
+    eliminates unnecessary waits), conservatively around the whole body
+    otherwise. *)
+
+type input = {
+  cg_prog : Ir.program;
+  cg_layout : Memory.Layout.t;
+  cg_config : Hcc_config.t;
+}
+
+val compile_loop :
+  input -> Ir.func -> Cfg.t -> Helix_analysis.Loops.loop -> loop_id:int ->
+  Parallel_loop.t option
+(** [None] when the loop cannot be parallelized under the configuration
+    (non-canonical shape, segment access in the header, unsupported
+    idioms); the reason is logged at debug level. *)

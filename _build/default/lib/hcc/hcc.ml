@@ -1,0 +1,116 @@
+open Helix_ir
+open Helix_analysis
+
+(* The HCC compiler driver.
+
+   [compile] runs the full pipeline on a program:
+
+     1. clean-up (dead-code elimination);
+     2. loop discovery per function;
+     3. profiling on a training input (all versions measure; only v3's
+        selection uses the measurements, mirroring the paper's training
+        run with SPEC training inputs);
+     4. per-loop parallelization (analysis + codegen) for every canonical
+        loop, under the version's feature set;
+     5. loop selection with the version's cost model;
+     6. packaging of the result for the runtime. *)
+
+type compiled = {
+  cp_prog : Ir.program;            (* includes generated body functions *)
+  cp_layout : Memory.Layout.t;
+  cp_config : Hcc_config.t;
+  cp_selected : Select.candidate list;
+  cp_candidates : Select.candidate list;
+  cp_profile : Profiler.t;
+  cp_coverage : float;
+}
+
+(* Loop analyses, cached per function and shared across the pipeline so
+   loop ids are consistent. *)
+let make_loops_of (prog : Ir.program) : string -> Loops.t =
+  let cache = Hashtbl.create 7 in
+  fun fname ->
+    match Hashtbl.find_opt cache fname with
+    | Some lt -> lt
+    | None ->
+        let f = Ir.find_func prog fname in
+        let lt = Loops.compute (Cfg.of_func f) in
+        Hashtbl.replace cache fname lt;
+        lt
+
+let compile (config : Hcc_config.t) (prog : Ir.program)
+    (layout : Memory.Layout.t) ~(train_mem : Memory.t) : compiled =
+  Verify.check_program prog;
+  Hashtbl.iter (fun _ f -> ignore (Transform.dead_code_elim f)) prog.Ir.p_funcs;
+  (* snapshot function names now: codegen adds body functions *)
+  let fnames =
+    Hashtbl.fold (fun n _ acc -> n :: acc) prog.Ir.p_funcs []
+    |> List.sort compare
+  in
+  let loops_of = make_loops_of prog in
+  let profile = Profiler.run prog loops_of train_mem in
+  let input =
+    { Codegen.cg_prog = prog; cg_layout = layout; cg_config = config }
+  in
+  let next_id = ref 0 in
+  let candidates =
+    List.concat_map
+      (fun fname ->
+        let f = Ir.find_func prog fname in
+        let lt = loops_of fname in
+        let cfg = Cfg.of_func f in
+        List.filter_map
+          (fun (lp : Loops.loop) ->
+            let loop_id = !next_id in
+            incr next_id;
+            match Codegen.compile_loop input f cfg lp ~loop_id with
+            | None -> None
+            | Some pl ->
+                let prof =
+                  Profiler.find profile ~func:fname ~loop_id:lp.Loops.l_id
+                in
+                (* every HCC version profiles loops on the training input
+                   (HELIX always did); what distinguishes HCCv3 is the
+                   ring-cache cost model used to interpret the numbers *)
+                let facts =
+                  match prof with
+                  | Some p -> Perf_model.facts_of_profile p pl
+                  | None -> Perf_model.facts_static ~depth:lp.Loops.l_depth pl
+                in
+                let est =
+                  Perf_model.estimate ~n_cores:config.Hcc_config.target_cores
+                    ~sync_latency:config.Hcc_config.sync_latency
+                    ~decoupled:config.Hcc_config.profile_loop_selection facts
+                in
+                Some
+                  {
+                    Select.cd_loop = pl;
+                    cd_depth = lp.Loops.l_depth;
+                    cd_profile = prof;
+                    cd_estimate = est;
+                  })
+          (Loops.loops lt))
+      fnames
+  in
+  let selected = Select.choose candidates loops_of in
+  let coverage = Select.coverage selected profile in
+  {
+    cp_prog = prog;
+    cp_layout = layout;
+    cp_config = config;
+    cp_selected = selected;
+    cp_candidates = candidates;
+    cp_profile = profile;
+    cp_coverage = coverage;
+  }
+
+let selected_loops c = List.map (fun s -> s.Select.cd_loop) c.cp_selected
+
+(* Lookup: is (func, header) a selected parallel loop? *)
+let find_parallel_loop c ~func ~header =
+  List.find_opt
+    (fun s ->
+      s.Select.cd_loop.Parallel_loop.pl_func = func
+      && s.Select.cd_loop.Parallel_loop.pl_header = header)
+    c.cp_selected
+  |> Option.map (fun s -> s.Select.cd_loop)

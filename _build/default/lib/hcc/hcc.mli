@@ -1,0 +1,33 @@
+open Helix_ir
+open Helix_analysis
+
+(** The HCC compiler driver: clean-up, loop discovery, training-input
+    profiling, per-loop parallelization under the version's feature set,
+    and loop selection. *)
+
+type compiled = {
+  cp_prog : Ir.program;        (** includes the generated body functions *)
+  cp_layout : Memory.Layout.t; (** extended with compiler scratch regions *)
+  cp_config : Hcc_config.t;
+  cp_selected : Select.candidate list;
+  cp_candidates : Select.candidate list;
+  cp_profile : Profiler.t;
+  cp_coverage : float;         (** dynamic coverage of the selected loops *)
+}
+
+val make_loops_of : Ir.program -> string -> Loops.t
+(** Per-function loop analysis, cached so ids stay consistent. *)
+
+val compile :
+  Hcc_config.t -> Ir.program -> Memory.Layout.t -> train_mem:Memory.t ->
+  compiled
+(** Compile [prog] in place: generated per-iteration body functions are
+    added to the program and scratch cells to the layout.  [train_mem] is
+    the training input the profiler consumes. *)
+
+val selected_loops : compiled -> Parallel_loop.t list
+
+val find_parallel_loop :
+  compiled -> func:string -> header:Ir.label -> Parallel_loop.t option
+(** Is [(func, header)] a selected parallel loop?  The executor's
+    trigger. *)

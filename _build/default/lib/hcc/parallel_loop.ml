@@ -1,0 +1,139 @@
+open Helix_ir
+
+(* Metadata describing one compiled parallel loop: everything the runtime
+   needs to execute its iterations on the cores of the simulated machine
+   and to reconstruct sequential state when the loop finishes. *)
+
+(* Closed-form recomputation of an induction variable.  At the start of
+   iteration [i] the register holds:
+     Linear:     r0  (+/-)  i * step
+     Quadratic:  r0  (+/-) (i * s0  (+/-) step * (i*(i-1)/2 + phase*i))
+   where r0 and s0 are the entry values of the IV and of its (linear)
+   step register, and [phase] is 1 when the step register updates before
+   the IV inside the body. *)
+type iv_form =
+  | Linear of { step : Ir.operand; sign : int }
+  | Quadratic of {
+      step_reg : Ir.reg;       (* the linear IV feeding this one *)
+      step : Ir.operand;       (* that IV's own invariant step *)
+      sign : int;              (* outer update: +1 for Add, -1 for Sub *)
+      inner_sign : int;        (* step register's update sign *)
+      phase : int;             (* 0 or 1 *)
+    }
+
+type iv_info = {
+  ivi_reg : Ir.reg;
+  ivi_form : iv_form;
+  ivi_live_out : bool;
+}
+
+(* A reduction privatized into one partial cell per core. *)
+type reduction = {
+  rd_reg : Ir.reg;
+  rd_op : Ir.binop;            (* Add | Sub | Mul | Min | Max *)
+  rd_base : int;               (* n_cores words of partials *)
+  rd_identity : int;
+  rd_live_out : bool;
+}
+
+(* A variable set in the loop whose last-written value must survive
+   (categories iii and iv): one value cell and one iteration-stamp cell
+   per core; stamp 0 means "never set", otherwise iteration+1. *)
+type lastval = {
+  lv_reg : Ir.reg;
+  lv_val_base : int;
+  lv_iter_base : int;
+  lv_live_out : bool;
+}
+
+(* An unpredictable register demoted to a shared memory cell accessed
+   inside a sequential segment. *)
+type shared_reg = {
+  sr_reg : Ir.reg;
+  sr_addr : int;
+  sr_segment : int;
+  sr_live_out : bool;
+}
+
+(* Trip-count recipe for counted loops: continue while
+   [iv cmp bound] holds, where iv starts at the entry value of [civ] and
+   advances by [csign]*[cstep] each iteration. *)
+type counted = {
+  civ : Ir.reg;
+  cstep : Ir.operand;
+  csign : int;
+  cbound : Ir.operand;
+  ccmp : Ir.binop;
+}
+
+type kind =
+  | Counted of counted
+  | Conditional  (* trip unknown: iteration starts are gated serially *)
+
+type segment_info = {
+  si_id : int;
+  si_annots : Ir.mem_annot list;
+  si_placement : placement;
+  si_footprint : int;
+      (* static instructions under the bracket (body size for loop-wide):
+         the sequential-segment length of the TLP study *)
+}
+
+(* Where the wait/signal bracket of a segment lives, in terms of the
+   original loop's blocks.  [Tight]: an in-block bracket in each
+   [bracket] block plus an adjacent wait;signal pair at the start of each
+   [empty] block (the Figure-5 "path that does not access the shared
+   data" case); every latch-bound path crosses exactly one of them.
+   [Loop_wide]: the conservative fallback bracketing the whole body. *)
+and placement =
+  | Tight of { bracket : Ir.label list; empty : Ir.label list }
+  | Loop_wide
+
+type t = {
+  pl_id : int;
+  pl_func : string;              (* function containing the loop *)
+  pl_header : Ir.label;          (* loop header in the original function *)
+  pl_exit : Ir.label;            (* block where core 0 resumes *)
+  pl_body_fn : string;           (* generated per-iteration function *)
+  pl_iter_reg : Ir.reg;          (* param 0 of the body function *)
+  pl_params : Ir.reg list;       (* params 1..: live-in registers *)
+  pl_kind : kind;
+  pl_segments : segment_info list;
+  pl_ivs : iv_info list;
+  pl_reductions : reduction list;
+  pl_lastvals : lastval list;
+  pl_shared_regs : shared_reg list;
+  pl_scratch : (int * int) list; (* (base, size) regions to clear at exit *)
+  pl_n_cores : int;
+  (* static accounting *)
+  pl_body_static_instrs : int;   (* original loop body size *)
+  pl_added_static_instrs : int;  (* recompute + demotion + sync overhead *)
+  pl_mean_segment_size : float;
+  pl_carried_reg_count : int;    (* registers carried across iterations *)
+  pl_mem_class_count : int;      (* shared-memory alias classes *)
+}
+
+let identity_of_op = function
+  | Ir.Add | Ir.Sub -> 0
+  | Ir.Mul -> 1
+  | Ir.Min -> max_int
+  | Ir.Max -> min_int
+  | _ -> 0
+
+(* Combine entry value [r0] with per-core partials. *)
+let combine_reduction (rd : reduction) r0 partials =
+  match rd.rd_op with
+  | Ir.Add -> List.fold_left ( + ) r0 partials
+  | Ir.Sub -> r0 - List.fold_left ( + ) 0 partials
+  | Ir.Mul -> List.fold_left ( * ) r0 partials
+  | Ir.Min -> List.fold_left min r0 partials
+  | Ir.Max -> List.fold_left max r0 partials
+  | _ -> r0
+
+(* Value of an IV at the start of iteration [i] given entry values. *)
+let iv_value_at (info : iv_info) ~r0 ~s0 ~step_value i =
+  match info.ivi_form with
+  | Linear { sign; _ } -> r0 + (sign * i * step_value)
+  | Quadratic { sign; inner_sign; phase; _ } ->
+      let tri = (i * (i - 1) / 2) + (phase * i) in
+      r0 + (sign * ((i * s0) + (inner_sign * step_value * tri)))

@@ -1,0 +1,113 @@
+(* Loop-selection cost models.
+
+   Both models estimate the cycles saved by parallelizing a loop on
+   [n_cores] with a given core-to-core synchronization latency, using the
+   classic DOACROSS steady-state bound: with a per-iteration sequential
+   portion [s], parallel portion [p] and synchronization cost [c], the
+   initiation interval is max(s + c, (s + p) / n), so
+
+     speedup = (s + p) / max(s + c, (s + p) / n)
+
+   HCCv1/v2 (analytical model, conventional target): static instruction
+   counts, an assumed trip count, and the conventional coherence latency.
+   This model rejects small hot loops -- their iterations are shorter than
+   the synchronization cost -- and favours large outer loops, reproducing
+   the selection behaviour the paper describes.
+
+   HCCv3 (profiler, ring-cache target): measured per-iteration lengths and
+   trip counts, and the ring-cache latency, under which small hot loops
+   become profitable. *)
+
+type estimate = {
+  e_speedup : float;
+  e_benefit : float;  (* estimated cycles saved over the whole program *)
+  e_seq_portion : float; (* fraction of the iteration inside segments *)
+}
+
+type loop_facts = {
+  lf_iter_instrs : float;       (* per-iteration instructions *)
+  lf_iterations : float;        (* total iterations across invocations *)
+  lf_invocations : float;
+  lf_segments : int;            (* number of sequential segments *)
+  lf_segment_instrs : float;    (* mean static instrs under brackets *)
+  lf_body_static : int;
+  lf_loop_wide : bool;          (* some segment brackets the whole body *)
+}
+
+let cpi = 1.3 (* rough in-order CPI used to convert instructions to cycles *)
+
+let estimate ~(n_cores : int) ~(sync_latency : int) ~(decoupled : bool)
+    (lf : loop_facts) : estimate =
+  let iter_cycles = cpi *. max 1.0 lf.lf_iter_instrs in
+  let seq_frac =
+    if lf.lf_segments = 0 then 0.0
+    else if lf.lf_loop_wide then 1.0
+    else
+      min 1.0
+        (lf.lf_segment_instrs
+         *. float_of_int lf.lf_segments
+         /. float_of_int (max 1 lf.lf_body_static))
+  in
+  let s = seq_frac *. iter_cycles in
+  let c =
+    if lf.lf_segments = 0 then 0.0
+    else if decoupled then
+      (* signals and data travel while cores compute; only the hop to the
+         adjacent core remains on the critical chain *)
+      float_of_int (min sync_latency 2 * lf.lf_segments)
+    else float_of_int (sync_latency * lf.lf_segments)
+  in
+  let interval = Float.max (s +. c) (iter_cycles /. float_of_int n_cores) in
+  (* startup/teardown per invocation: iteration dispatch plus end-of-loop
+     flush/fence *)
+  let startup = if decoupled then 30.0 else float_of_int (2 * sync_latency) in
+  let seq_time = lf.lf_iterations *. iter_cycles in
+  let par_time =
+    (lf.lf_iterations *. interval) +. (lf.lf_invocations *. startup)
+  in
+  {
+    e_speedup = (if par_time <= 0.0 then 1.0 else seq_time /. par_time);
+    e_benefit = seq_time -. par_time;
+    e_seq_portion = seq_frac;
+  }
+
+(* Facts from profile data (HCCv3's profiler-driven selection). *)
+let facts_of_profile (p : Profiler.loop_profile)
+    (pl : Parallel_loop.t) : loop_facts =
+  {
+    lf_iter_instrs = Profiler.instrs_per_iteration p;
+    lf_iterations = float_of_int p.Profiler.lpf_iterations;
+    lf_invocations = float_of_int p.Profiler.lpf_invocations;
+    lf_segments = List.length pl.Parallel_loop.pl_segments;
+    lf_segment_instrs = pl.Parallel_loop.pl_mean_segment_size;
+    lf_body_static = pl.Parallel_loop.pl_body_static_instrs;
+    lf_loop_wide =
+      List.exists
+        (fun s ->
+          match s.Parallel_loop.si_placement with
+          | Parallel_loop.Loop_wide -> true
+          | Parallel_loop.Tight _ -> false)
+        pl.Parallel_loop.pl_segments;
+  }
+
+(* Facts from static estimates only (HCCv1/v2's analytical model): the
+   compiler assumes a default trip count and invocation weight scaled by
+   the loop's static size and nesting depth. *)
+let facts_static ~(depth : int) (pl : Parallel_loop.t) : loop_facts =
+  let assumed_trip = 100.0 in
+  let weight = float_of_int (max 1 (10 - depth)) in
+  {
+    lf_iter_instrs = float_of_int pl.Parallel_loop.pl_body_static_instrs;
+    lf_iterations = assumed_trip *. weight;
+    lf_invocations = weight;
+    lf_segments = List.length pl.Parallel_loop.pl_segments;
+    lf_segment_instrs = pl.Parallel_loop.pl_mean_segment_size;
+    lf_body_static = pl.Parallel_loop.pl_body_static_instrs;
+    lf_loop_wide =
+      List.exists
+        (fun s ->
+          match s.Parallel_loop.si_placement with
+          | Parallel_loop.Loop_wide -> true
+          | Parallel_loop.Tight _ -> false)
+        pl.Parallel_loop.pl_segments;
+  }

@@ -1,0 +1,91 @@
+open Helix_ir
+open Helix_analysis
+
+(* Sequential-segment construction.
+
+   Input: shared-data classes -- alias classes of memory annotations from
+   the dependence analysis, plus one class per compiler-demoted shared
+   register -- each with the loop positions that access it.  Output:
+   numbered segments.  "Different sequential segments always access
+   different shared data" (Section 4), so distinct segments may execute
+   concurrently; HCCv1/v2 merge everything into one segment (conservative
+   splitting for machines with expensive synchronization), while HCCv3
+   keeps one segment per class. *)
+
+type t = {
+  seg_id : int;
+  seg_annots : Ir.mem_annot list;   (* the shared-data class *)
+  seg_positions : Ir.ipos list;     (* loop positions accessing the class *)
+}
+
+(* Does effect [e] touch class [annots] under [tier]? *)
+let effect_touches tier (e : Alias.effect_) annots =
+  e.Alias.e_opaque
+  || List.exists
+       (fun a ->
+         List.exists
+           (fun b -> Alias.may_alias tier a b)
+           (e.Alias.e_reads @ e.Alias.e_writes))
+       annots
+
+(* Positions of loop memory nodes touching [annots]. *)
+let mem_positions tier (deps : Depend.loop_deps) annots =
+  List.filter_map
+    (fun n ->
+      if effect_touches tier n.Depend.mn_effect annots then
+        Some n.Depend.mn_pos
+      else None)
+    deps.Depend.ld_nodes
+
+(* [build ~max_segments ~opaque classes] numbers and, if necessary,
+   merges the given (annots, positions) classes.  [opaque] forces a
+   single segment (an unknown call may touch anything). *)
+let build ~(max_segments : int) ~(opaque : bool)
+    (classes : (Ir.mem_annot list * Ir.ipos list) list) : t list =
+  let merged =
+    if classes = [] then []
+    else if opaque || List.length classes > max_segments then begin
+      let sorted =
+        List.sort
+          (fun (a, _) (b, _) -> compare (List.length b) (List.length a))
+          classes
+      in
+      let keep = if opaque then 0 else max 0 (max_segments - 1) in
+      let rec split i acc rest =
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl when i < keep -> split (i + 1) (x :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let kept, fused = split 0 [] sorted in
+      match fused with
+      | [] -> kept
+      | _ ->
+          let annots =
+            List.concat_map fst fused |> List.sort_uniq compare
+          in
+          let positions =
+            List.concat_map snd fused |> List.sort_uniq compare
+          in
+          kept @ [ (annots, positions) ]
+    end
+    else classes
+  in
+  List.mapi
+    (fun i (annots, positions) ->
+      { seg_id = i; seg_annots = annots;
+        seg_positions = List.sort_uniq compare positions })
+    merged
+
+(* Average static instructions per segment, for the TLP study (Section
+   6.2: aggressive splitting drops segment size from 8.5 to 3.2). *)
+let mean_size (segs : t list) =
+  match segs with
+  | [] -> 0.0
+  | _ ->
+      let total =
+        List.fold_left
+          (fun acc s -> acc + max 1 (List.length s.seg_positions))
+          0 segs
+      in
+      float_of_int total /. float_of_int (List.length segs)

@@ -1,0 +1,70 @@
+open Helix_analysis
+
+(* Loop selection.
+
+   Given every successfully compiled candidate loop with its estimated
+   benefit, choose the set to parallelize: a nesting antichain (only one
+   loop of a nest can run in parallel at a time) maximizing the estimated
+   benefit greedily, keeping only loops whose predicted speedup clears a
+   threshold.  HCCv3 feeds profiled facts with the decoupled cost model;
+   HCCv1/v2 feed static facts with the conventional model. *)
+
+type candidate = {
+  cd_loop : Parallel_loop.t;
+  cd_depth : int;
+  cd_profile : Profiler.loop_profile option;
+  cd_estimate : Perf_model.estimate;
+}
+
+let threshold = 1.2
+
+(* Nesting conflict: two candidates overlap when one's body contains the
+   other's header (same function only). *)
+let conflicts (a : candidate) (b : candidate) (loops_of : string -> Loops.t) =
+  a.cd_loop.Parallel_loop.pl_func = b.cd_loop.Parallel_loop.pl_func
+  &&
+  let lt = loops_of a.cd_loop.Parallel_loop.pl_func in
+  let body_of pl =
+    match Loops.loop_of_header lt pl.Parallel_loop.pl_header with
+    | Some id -> (Loops.loop lt id).Loops.l_body
+    | None -> Loops.Label_set.empty
+  in
+  let ba = body_of a.cd_loop and bb = body_of b.cd_loop in
+  Loops.Label_set.mem b.cd_loop.Parallel_loop.pl_header ba
+  || Loops.Label_set.mem a.cd_loop.Parallel_loop.pl_header bb
+
+let choose (candidates : candidate list) (loops_of : string -> Loops.t) :
+    candidate list =
+  let eligible =
+    List.filter
+      (fun c -> c.cd_estimate.Perf_model.e_speedup >= threshold)
+      candidates
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare b.cd_estimate.Perf_model.e_benefit
+          a.cd_estimate.Perf_model.e_benefit)
+      eligible
+  in
+  List.fold_left
+    (fun chosen c ->
+      if List.exists (fun c' -> conflicts c c' loops_of) chosen then chosen
+      else c :: chosen)
+    [] sorted
+  |> List.rev
+
+(* Dynamic program coverage of the selected loops (Table 1): instructions
+   executed inside any selected loop body over total instructions. *)
+let coverage (selected : candidate list) (profile : Profiler.t) : float =
+  if profile.Profiler.total_instrs = 0 then 0.0
+  else
+    let covered =
+      List.fold_left
+        (fun acc c ->
+          match c.cd_profile with
+          | Some p -> acc + p.Profiler.lpf_instrs
+          | None -> acc)
+        0 selected
+    in
+    float_of_int covered /. float_of_int profile.Profiler.total_instrs

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ir List Memory Option Printf

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Hashtbl List Printf

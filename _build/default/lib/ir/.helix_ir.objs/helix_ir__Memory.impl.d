@@ -1,0 +1,1 @@
+lib/ir/memory.ml: Hashtbl List

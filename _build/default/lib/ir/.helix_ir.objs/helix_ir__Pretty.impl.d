@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Fmt Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Hashtbl Ir List Printf

@@ -1,0 +1,190 @@
+(* Imperative construction DSL for IR functions.
+
+   A builder keeps a current insertion block; [instr]-emitting helpers
+   return the destination register so chains read naturally:
+
+     let b = Builder.create "f" in
+     let x = Builder.add b (Reg p) (Imm 1) in
+     Builder.ret b (Some (Reg x))
+*)
+
+open Ir
+
+type t = {
+  func : func;
+  mutable cur : block option; (* current insertion block *)
+}
+
+let create ?(params = []) name =
+  let entry = 0 in
+  let f = create_func ~params name entry in
+  let b0 = { b_label = entry; b_instrs = []; b_term = Ret None } in
+  add_block f b0;
+  { func = f; cur = Some b0 }
+
+let func t = t.func
+
+let current_label t =
+  match t.cur with
+  | Some b -> b.b_label
+  | None -> invalid_arg "Builder: no current block"
+
+let fresh_label t = fresh_label t.func
+
+(* Create (if needed) and switch to the block labelled [l]. *)
+let switch_to t l =
+  let b =
+    match Hashtbl.find_opt t.func.f_blocks l with
+    | Some b -> b
+    | None ->
+        let b = { b_label = l; b_instrs = []; b_term = Ret None } in
+        add_block t.func b;
+        b
+  in
+  t.cur <- Some b
+
+let new_block t =
+  let l = fresh_label t in
+  switch_to t l;
+  l
+
+let emit t ins =
+  match t.cur with
+  | None -> invalid_arg "Builder.emit: no current block"
+  | Some b -> b.b_instrs <- b.b_instrs @ [ ins ]
+
+let terminate t term =
+  match t.cur with
+  | None -> invalid_arg "Builder.terminate: no current block"
+  | Some b ->
+      b.b_term <- term;
+      t.cur <- None
+
+(* -- instruction helpers ------------------------------------------- *)
+
+let fresh t = Ir.fresh_reg t.func
+
+let binop t op a b =
+  let r = fresh t in
+  emit t (Binop (r, op, a, b));
+  r
+
+let add t a b = binop t Add a b
+let sub t a b = binop t Sub a b
+let mul t a b = binop t Mul a b
+let div t a b = binop t Div a b
+let rem t a b = binop t Rem a b
+let band t a b = binop t And a b
+let bor t a b = binop t Or a b
+let bxor t a b = binop t Xor a b
+let shl t a b = binop t Shl a b
+let shr t a b = binop t Shr a b
+let eq t a b = binop t Eq a b
+let ne t a b = binop t Ne a b
+let lt t a b = binop t Lt a b
+let le t a b = binop t Le a b
+let gt t a b = binop t Gt a b
+let ge t a b = binop t Ge a b
+let imin t a b = binop t Min a b
+let imax t a b = binop t Max a b
+
+let unop t op a =
+  let r = fresh t in
+  emit t (Unop (r, op, a));
+  r
+
+let neg t a = unop t Neg a
+let bnot t a = unop t Not a
+
+let mov t a =
+  let r = fresh t in
+  emit t (Mov (r, a));
+  r
+
+let mov_to t r a = emit t (Mov (r, a))
+
+let load t ?(offset = Imm 0) ~an base =
+  let r = fresh t in
+  emit t (Load (r, { base; offset; annot = an }));
+  r
+
+let store t ?(offset = Imm 0) ~an base v =
+  emit t (Store ({ base; offset; annot = an }, v))
+
+let call t ?dst name args = emit t (Call (dst, name, args))
+
+let libcall t lc args =
+  let r = fresh t in
+  emit t (Libcall (r, lc, args));
+  r
+
+let wait t id = emit t (Wait id)
+let signal t id = emit t (Signal id)
+let flush t = emit t Flush
+let nop t = emit t Nop
+
+(* -- terminators ---------------------------------------------------- *)
+
+let jmp t l = terminate t (Jmp l)
+let br t c l1 l2 = terminate t (Br (c, l1, l2))
+let ret t o = terminate t (Ret o)
+
+(* -- structured helpers --------------------------------------------- *)
+
+(* [counted_loop t ~from ~below body] builds
+
+     for i = from; i < below; i++ do body i done
+
+   and returns [(header_label, exit_label)].  The induction variable is a
+   fresh register passed to [body].  The builder is positioned in the exit
+   block on return. *)
+let counted_loop t ~from ~below body =
+  let i = fresh t in
+  mov_to t i from;
+  let header = fresh_label t in
+  let body_l = fresh_label t in
+  let exit_l = fresh_label t in
+  jmp t header;
+  switch_to t header;
+  let c = lt t (Reg i) below in
+  br t (Reg c) body_l exit_l;
+  switch_to t body_l;
+  body i;
+  let i' = add t (Reg i) (Imm 1) in
+  mov_to t i (Reg i');
+  jmp t header;
+  switch_to t exit_l;
+  (header, exit_l)
+
+(* [while_loop t cond body] builds a while loop whose condition is rebuilt
+   in the header each trip; returns [(header, exit)]. *)
+let while_loop t cond body =
+  let header = fresh_label t in
+  let body_l = fresh_label t in
+  let exit_l = fresh_label t in
+  jmp t header;
+  switch_to t header;
+  let c = cond () in
+  br t (Reg c) body_l exit_l;
+  switch_to t body_l;
+  body ();
+  jmp t header;
+  switch_to t exit_l;
+  (header, exit_l)
+
+(* [if_ t c then_ else_] builds a diamond; builder ends in the join block. *)
+let if_ t c then_ else_ =
+  let then_l = fresh_label t in
+  let else_l = fresh_label t in
+  let join_l = fresh_label t in
+  br t c then_l else_l;
+  switch_to t then_l;
+  then_ ();
+  jmp t join_l;
+  switch_to t else_l;
+  else_ ();
+  jmp t join_l;
+  switch_to t join_l
+
+(* [if_then t c then_] is [if_] with an empty else branch. *)
+let if_then t c then_ = if_ t c then_ (fun () -> ())

@@ -1,0 +1,85 @@
+(** Imperative construction DSL for IR functions: a builder keeps a
+    current insertion block, and instruction helpers return their
+    destination register so chains read naturally. *)
+
+type t
+
+val create : ?params:Ir.reg list -> string -> t
+(** New function with an empty entry block as the insertion point. *)
+
+val func : t -> Ir.func
+
+val current_label : t -> Ir.label
+val fresh_label : t -> Ir.label
+val switch_to : t -> Ir.label -> unit
+(** Create (if needed) and move insertion to the block labelled [l]. *)
+
+val new_block : t -> Ir.label
+val emit : t -> Ir.instr -> unit
+val fresh : t -> Ir.reg
+
+(** {1 Instructions} *)
+
+val binop : t -> Ir.binop -> Ir.operand -> Ir.operand -> Ir.reg
+val add : t -> Ir.operand -> Ir.operand -> Ir.reg
+val sub : t -> Ir.operand -> Ir.operand -> Ir.reg
+val mul : t -> Ir.operand -> Ir.operand -> Ir.reg
+val div : t -> Ir.operand -> Ir.operand -> Ir.reg
+val rem : t -> Ir.operand -> Ir.operand -> Ir.reg
+val band : t -> Ir.operand -> Ir.operand -> Ir.reg
+val bor : t -> Ir.operand -> Ir.operand -> Ir.reg
+val bxor : t -> Ir.operand -> Ir.operand -> Ir.reg
+val shl : t -> Ir.operand -> Ir.operand -> Ir.reg
+val shr : t -> Ir.operand -> Ir.operand -> Ir.reg
+val eq : t -> Ir.operand -> Ir.operand -> Ir.reg
+val ne : t -> Ir.operand -> Ir.operand -> Ir.reg
+val lt : t -> Ir.operand -> Ir.operand -> Ir.reg
+val le : t -> Ir.operand -> Ir.operand -> Ir.reg
+val gt : t -> Ir.operand -> Ir.operand -> Ir.reg
+val ge : t -> Ir.operand -> Ir.operand -> Ir.reg
+val imin : t -> Ir.operand -> Ir.operand -> Ir.reg
+val imax : t -> Ir.operand -> Ir.operand -> Ir.reg
+val unop : t -> Ir.unop -> Ir.operand -> Ir.reg
+val neg : t -> Ir.operand -> Ir.reg
+val bnot : t -> Ir.operand -> Ir.reg
+val mov : t -> Ir.operand -> Ir.reg
+val mov_to : t -> Ir.reg -> Ir.operand -> unit
+
+val load :
+  t -> ?offset:Ir.operand -> an:Ir.mem_annot -> Ir.operand -> Ir.reg
+
+val store :
+  t -> ?offset:Ir.operand -> an:Ir.mem_annot -> Ir.operand -> Ir.operand ->
+  unit
+
+val call : t -> ?dst:Ir.reg -> string -> Ir.operand list -> unit
+val libcall : t -> Ir.libcall -> Ir.operand list -> Ir.reg
+val wait : t -> int -> unit
+val signal : t -> int -> unit
+val flush : t -> unit
+val nop : t -> unit
+
+(** {1 Terminators} *)
+
+val jmp : t -> Ir.label -> unit
+val br : t -> Ir.operand -> Ir.label -> Ir.label -> unit
+val ret : t -> Ir.operand option -> unit
+
+(** {1 Structured helpers}
+
+    All three produce the canonical loop / diamond shapes the compiler
+    recognizes. *)
+
+val counted_loop :
+  t -> from:Ir.operand -> below:Ir.operand -> (Ir.reg -> unit) ->
+  Ir.label * Ir.label
+(** [counted_loop t ~from ~below body] builds
+    [for i = from; i < below; i++ do body i done] and returns
+    [(header, exit)]; the builder ends in the exit block. *)
+
+val while_loop :
+  t -> (unit -> Ir.reg) -> (unit -> unit) -> Ir.label * Ir.label
+(** The condition closure is re-emitted in the header each trip. *)
+
+val if_ : t -> Ir.operand -> (unit -> unit) -> (unit -> unit) -> unit
+val if_then : t -> Ir.operand -> (unit -> unit) -> unit

@@ -1,0 +1,91 @@
+(* Flat, word-addressed memory shared by the reference interpreter and the
+   cycle-stepped simulator.  Uninitialized words read as zero.
+
+   Workloads allocate named regions statically through [Layout]; the
+   region table doubles as the ground truth for allocation sites and for
+   the ring cache's owner-node address hashing. *)
+
+type t = {
+  words : (int, int) Hashtbl.t;
+  mutable writes : int; (* total stores, for statistics *)
+}
+
+let create () = { words = Hashtbl.create 4096; writes = 0 }
+
+let load m a = match Hashtbl.find_opt m.words a with Some v -> v | None -> 0
+
+let store m a v =
+  m.writes <- m.writes + 1;
+  if v = 0 then Hashtbl.remove m.words a else Hashtbl.replace m.words a v
+
+let copy m = { words = Hashtbl.copy m.words; writes = m.writes }
+
+let clear m =
+  Hashtbl.reset m.words;
+  m.writes <- 0
+
+(* Content hash, independent of insertion order; used as the oracle that a
+   parallel execution produced exactly the sequential memory image. *)
+let hash m =
+  let acc = ref 0 in
+  Hashtbl.iter
+    (fun a v -> if v <> 0 then acc := !acc lxor (Hashtbl.hash (a, v) * 0x9e3779b1))
+    m.words;
+  !acc
+
+let equal m1 m2 =
+  let sub a b =
+    try
+      Hashtbl.iter
+        (fun k v -> if v <> 0 && load b k <> v then raise Exit)
+        a.words;
+      true
+    with Exit -> false
+  in
+  sub m1 m2 && sub m2 m1
+
+let nonzero_bindings m =
+  Hashtbl.fold (fun a v acc -> if v <> 0 then (a, v) :: acc else acc) m.words []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Static layout of named regions                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Layout = struct
+  type region = { name : string; site : int; base : int; size : int }
+
+  type t = {
+    mutable regions : region list; (* newest first *)
+    mutable next_base : int;
+    mutable next_site : int;
+  }
+
+  let create () = { regions = []; next_base = 0x1000; next_site = 0 }
+
+  (* Allocate [size] words for region [name]; returns the region.  Regions
+     are padded to a multiple of 64 words so that distinct sites never
+     share a cache line in any simulated cache. *)
+  let alloc t name size =
+    let site = t.next_site in
+    t.next_site <- site + 1;
+    let base = t.next_base in
+    let padded = ((max 1 size + 63) / 64) * 64 in
+    t.next_base <- base + padded;
+    let r = { name; site; base; size } in
+    t.regions <- r :: t.regions;
+    r
+
+  let find t name =
+    match List.find_opt (fun r -> r.name = name) t.regions with
+    | Some r -> r
+    | None -> invalid_arg ("Memory.Layout.find: unknown region " ^ name)
+
+  let region_of_addr t a =
+    List.find_opt (fun r -> a >= r.base && a < r.base + r.size) t.regions
+
+  let site_of_addr t a =
+    match region_of_addr t a with Some r -> r.site | None -> -1
+
+  let regions t = List.rev t.regions
+end

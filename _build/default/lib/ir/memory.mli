@@ -1,0 +1,37 @@
+(** Flat, word-addressed memory shared by the reference interpreter and
+    the cycle-stepped simulator.  Uninitialized words read as zero; a
+    store of zero erases the binding, so two memories with the same
+    observable contents are [equal]. *)
+
+type t
+
+val create : unit -> t
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+val copy : t -> t
+val clear : t -> unit
+
+val hash : t -> int
+(** Content hash, independent of insertion order: the oracle that a
+    parallel execution reproduced the sequential memory image. *)
+
+val equal : t -> t -> bool
+val nonzero_bindings : t -> (int * int) list
+
+(** Static layout of named regions: the ground truth for allocation
+    sites, and the address map workload generators build against. *)
+module Layout : sig
+  type region = { name : string; site : int; base : int; size : int }
+  type t
+
+  val create : unit -> t
+
+  val alloc : t -> string -> int -> region
+  (** [alloc t name size] reserves [size] words.  Regions are padded so
+      distinct sites never share a simulated cache line. *)
+
+  val find : t -> string -> region
+  val region_of_addr : t -> int -> region option
+  val site_of_addr : t -> int -> int
+  val regions : t -> region list
+end

@@ -1,0 +1,78 @@
+(* Pretty-printing of the IR using [Fmt].  Output is stable and parse-free;
+   it exists for debugging, examples, and golden tests. *)
+
+open Ir
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+    | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+    | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+    | Min -> "min" | Max -> "max")
+
+let pp_unop ppf op =
+  Fmt.string ppf (match op with Neg -> "neg" | Not -> "not")
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "r%d" r
+  | Imm i -> Fmt.pf ppf "%d" i
+
+let pp_annot ppf a =
+  if a.site >= 0 then begin
+    Fmt.pf ppf " @@site%d" a.site;
+    if a.flow >= 0 then Fmt.pf ppf ".f%d" a.flow;
+    if a.path <> "" then Fmt.pf ppf "[%s]" a.path;
+    if a.ty <> "" then Fmt.pf ppf ":%s" a.ty
+  end
+
+let pp_addr ppf a =
+  (match a.offset with
+  | Imm 0 -> Fmt.pf ppf "[%a]" pp_operand a.base
+  | o -> Fmt.pf ppf "[%a + %a]" pp_operand a.base pp_operand o);
+  pp_annot ppf a.annot
+
+let pp_instr ppf = function
+  | Binop (r, op, a, b) ->
+      Fmt.pf ppf "r%d = %a %a, %a" r pp_binop op pp_operand a pp_operand b
+  | Unop (r, op, a) -> Fmt.pf ppf "r%d = %a %a" r pp_unop op pp_operand a
+  | Mov (r, a) -> Fmt.pf ppf "r%d = %a" r pp_operand a
+  | Load (r, ad) -> Fmt.pf ppf "r%d = load %a" r pp_addr ad
+  | Store (ad, v) -> Fmt.pf ppf "store %a, %a" pp_addr ad pp_operand v
+  | Call (None, f, args) ->
+      Fmt.pf ppf "call %s(%a)" f Fmt.(list ~sep:comma pp_operand) args
+  | Call (Some r, f, args) ->
+      Fmt.pf ppf "r%d = call %s(%a)" r f Fmt.(list ~sep:comma pp_operand) args
+  | Libcall (r, lc, args) ->
+      Fmt.pf ppf "r%d = lib %s(%a)" r (libcall_name lc)
+        Fmt.(list ~sep:comma pp_operand) args
+  | Wait id -> Fmt.pf ppf "wait %d" id
+  | Signal id -> Fmt.pf ppf "signal %d" id
+  | Flush -> Fmt.string ppf "flush"
+  | Nop -> Fmt.string ppf "nop"
+
+let pp_term ppf = function
+  | Jmp l -> Fmt.pf ppf "jmp L%d" l
+  | Br (c, l1, l2) -> Fmt.pf ppf "br %a, L%d, L%d" pp_operand c l1 l2
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some o) -> Fmt.pf ppf "ret %a" pp_operand o
+
+let pp_block ppf (b : block) =
+  Fmt.pf ppf "L%d:@." b.b_label;
+  List.iter (fun i -> Fmt.pf ppf "  %a@." pp_instr i) b.b_instrs;
+  Fmt.pf ppf "  %a@." pp_term b.b_term
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "func %s(%a):@." f.f_name
+    Fmt.(list ~sep:comma (fun ppf r -> pf ppf "r%d" r))
+    f.f_params;
+  List.iter (fun l -> pp_block ppf (block_of_func f l)) f.f_order
+
+let pp_program ppf (p : program) =
+  let names =
+    Hashtbl.fold (fun n _ acc -> n :: acc) p.p_funcs [] |> List.sort compare
+  in
+  List.iter (fun n -> Fmt.pf ppf "%a@." pp_func (find_func p n)) names
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let instr_to_string i = Fmt.str "%a" pp_instr i

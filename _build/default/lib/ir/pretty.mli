@@ -1,0 +1,15 @@
+(** Stable pretty-printing of the IR, for debugging, examples and golden
+    tests. *)
+
+val pp_binop : Format.formatter -> Ir.binop -> unit
+val pp_unop : Format.formatter -> Ir.unop -> unit
+val pp_operand : Format.formatter -> Ir.operand -> unit
+val pp_annot : Format.formatter -> Ir.mem_annot -> unit
+val pp_addr : Format.formatter -> Ir.addr -> unit
+val pp_instr : Format.formatter -> Ir.instr -> unit
+val pp_term : Format.formatter -> Ir.terminator -> unit
+val pp_block : Format.formatter -> Ir.block -> unit
+val pp_func : Format.formatter -> Ir.func -> unit
+val pp_program : Format.formatter -> Ir.program -> unit
+val func_to_string : Ir.func -> string
+val instr_to_string : Ir.instr -> string

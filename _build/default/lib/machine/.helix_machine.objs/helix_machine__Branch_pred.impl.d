@@ -1,0 +1,1 @@
+lib/machine/branch_pred.ml: Array

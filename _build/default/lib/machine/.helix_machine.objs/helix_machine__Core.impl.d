@@ -1,0 +1,1 @@
+lib/machine/core.ml: Core_inorder Core_model Core_ooo Mach_config

@@ -1,0 +1,1 @@
+lib/machine/core.mli: Core_model Mach_config Stats

@@ -1,0 +1,1 @@
+lib/machine/core_inorder.ml: Branch_pred Core_model Format Hashtbl List Mach_config Printf Stats String Sys Uop

@@ -1,0 +1,1 @@
+lib/machine/core_model.ml: Mach_config Stats Uop

@@ -1,0 +1,1 @@
+lib/machine/hierarchy.ml: Array Cache Dram Hashtbl Mach_config

@@ -1,0 +1,1 @@
+lib/machine/hierarchy.mli: Mach_config

@@ -1,0 +1,1 @@
+lib/machine/uop.ml: Format Printf

@@ -1,0 +1,11 @@
+(** Two-bit saturating-counter branch predictor indexed by static branch
+    id. *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+
+val predict_update : t -> static_id:int -> taken:bool -> bool
+(** Whether the branch was mispredicted; updates the counter. *)
+
+val mispredict_rate : t -> float

@@ -1,0 +1,99 @@
+(* Set-associative cache timing model with LRU replacement.
+
+   The model tracks tags only: data always lives in the functional memory;
+   the cache answers "hit or miss" and evictions.  Addresses are in words;
+   the line size groups adjacent words. *)
+
+type line = {
+  mutable tag : int;     (* line address (addr / line_words) *)
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable lru : int;     (* larger = more recently used *)
+}
+
+type t = {
+  cfg : Mach_config.cache_config;
+  sets : line array array; (* [set].[way] *)
+  n_sets : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create (cfg : Mach_config.cache_config) =
+  let n_sets = max 1 (cfg.size_words / (cfg.assoc * cfg.line_words)) in
+  {
+    cfg;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init cfg.assoc (fun _ ->
+              { tag = -1; valid = false; dirty = false; lru = 0 }));
+    n_sets;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let line_of t addr = addr / t.cfg.line_words
+let set_of t laddr = laddr mod t.n_sets
+
+type outcome =
+  | Hit
+  | Miss of { evicted_dirty_line : int option } (* line address written back *)
+
+(* Access a word; allocate on miss. *)
+let access t ~(write : bool) (addr : int) : outcome =
+  t.clock <- t.clock + 1;
+  let laddr = line_of t addr in
+  let set = t.sets.(set_of t laddr) in
+  let found = ref None in
+  Array.iter
+    (fun l -> if l.valid && l.tag = laddr then found := Some l)
+    set;
+  match !found with
+  | Some l ->
+      t.hits <- t.hits + 1;
+      l.lru <- t.clock;
+      if write then l.dirty <- true;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* choose victim: invalid first, else LRU *)
+      let victim = ref set.(0) in
+      Array.iter
+        (fun l ->
+          if not l.valid then victim := l
+          else if !victim.valid && l.lru < !victim.lru then victim := l)
+        set;
+      let v = !victim in
+      let evicted =
+        if v.valid && v.dirty then Some v.tag else None
+      in
+      if v.valid then t.evictions <- t.evictions + 1;
+      v.tag <- laddr;
+      v.valid <- true;
+      v.dirty <- write;
+      v.lru <- t.clock;
+      Miss { evicted_dirty_line = evicted }
+
+(* Probe without side effects. *)
+let contains t addr =
+  let laddr = line_of t addr in
+  Array.exists
+    (fun l -> l.valid && l.tag = laddr)
+    t.sets.(set_of t laddr)
+
+let invalidate t addr =
+  let laddr = line_of t addr in
+  Array.iter
+    (fun l -> if l.valid && l.tag = laddr then l.valid <- false)
+    t.sets.(set_of t laddr)
+
+let flush_all t =
+  Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) t.sets
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 1.0 else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,17 @@
+(** Set-associative cache timing model with LRU replacement.  Tracks tags
+    only: data lives in the functional memory; the model answers hit or
+    miss plus dirty evictions. *)
+
+type t
+
+type outcome =
+  | Hit
+  | Miss of { evicted_dirty_line : int option }
+      (** line address needing write-back, if a dirty victim was chosen *)
+
+val create : Mach_config.cache_config -> t
+val access : t -> write:bool -> int -> outcome
+val contains : t -> int -> bool
+val invalidate : t -> int -> unit
+val flush_all : t -> unit
+val hit_rate : t -> float

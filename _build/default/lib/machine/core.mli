@@ -1,0 +1,15 @@
+(** Core-model dispatcher: the in-order or out-of-order timing engine,
+    chosen by configuration. *)
+
+type t
+
+val create : Mach_config.core_config -> Core_model.supply -> t
+
+val tick : t -> int -> unit
+(** Advance the core one clock cycle. *)
+
+val quiescent : t -> bool
+(** Nothing in flight and the supply currently yields no work. *)
+
+val stats : t -> Stats.t
+val describe : t -> string

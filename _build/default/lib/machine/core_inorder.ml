@@ -1,0 +1,204 @@
+(* Two-way in-order core timing model (Atom-like, as in XIOSim).
+
+   Issue is strictly in program order: a uop issues when its sources are
+   ready, the fetch front-end is not redirecting, and its functional unit
+   is free.  The data cache is blocking: one outstanding memory access.
+   Shared-world uops poll the executor's callback until they complete,
+   which is where wait-stalls and communication stalls appear. *)
+
+type t = {
+  my_id : int;
+  cfg : Mach_config.core_config;
+  supply : Core_model.supply;
+  stats : Stats.t;
+  predictor : Branch_pred.t;
+  reg_ready : (int, int) Hashtbl.t;
+  mutable pending : Uop.t option;  (* fetched, not yet issued *)
+  mutable fetch_avail : int;       (* front-end redirect until this cycle *)
+  mutable mem_busy_until : int;    (* blocking data-cache port *)
+  mutable last_stall : Stats.bucket;
+}
+
+let trace_core =
+  match Sys.getenv_opt "HELIX_TRACE_CORE" with
+  | Some v -> (try int_of_string v with _ -> -1)
+  | None -> -1
+
+let trace_win =
+  match Sys.getenv_opt "HELIX_TRACE_WIN" with
+  | Some v -> (
+      match String.split_on_char '-' v with
+      | [ a; b ] -> (int_of_string a, int_of_string b)
+      | _ -> (0, -1))
+  | None -> (0, -1)
+
+let core_counter = ref (-1)
+
+let create cfg supply =
+  incr core_counter;
+  {
+    my_id = !core_counter mod 16;
+    cfg;
+    supply;
+    stats = Stats.create ();
+    predictor = Branch_pred.create ();
+    reg_ready = Hashtbl.create 64;
+    pending = None;
+    fetch_avail = 0;
+    mem_busy_until = 0;
+    last_stall = Stats.Idle;
+  }
+
+let ready t r = try Hashtbl.find t.reg_ready r with Not_found -> 0
+
+let srcs_ready t (u : Uop.t) cycle =
+  List.for_all (fun r -> ready t r <= cycle) u.Uop.srcs
+
+let set_dst t (u : Uop.t) c =
+  match u.Uop.dst with
+  | Some d -> Hashtbl.replace t.reg_ready d c
+  | None -> ()
+
+let src_ready_cycle t (u : Uop.t) =
+  List.fold_left (fun acc r -> max acc (ready t r)) 0 u.Uop.srcs
+
+(* memory-unit occupancy: loads and stores contend for the port;
+   wait/signal issue from the store queue for ordering but ride their own
+   wires, so an outstanding data access does not delay them *)
+let is_mem (u : Uop.t) =
+  match u.Uop.kind with
+  | Uop.Load_priv _ | Uop.Store_priv _
+  | Uop.Shared (Uop.S_load _ | Uop.S_store _) ->
+      true
+  | _ -> false
+
+(* Attempt to issue [u] at [cycle].  Returns [`Issued], or [`Stall b]
+   attributing the blockage. *)
+let try_issue t (u : Uop.t) cycle =
+  if cycle < t.fetch_avail then `Stall Stats.Pipeline
+  else if not (srcs_ready t u cycle) then
+    (* blocked on an in-flight producer; attribute to memory if the
+       producer is a load still outstanding through the cache port *)
+    if src_ready_cycle t u > cycle && t.mem_busy_until > cycle then
+      `Stall Stats.Mem_stall
+    else `Stall Stats.Pipeline
+  else if is_mem u && cycle < t.mem_busy_until then `Stall Stats.Mem_stall
+  else begin
+    match u.Uop.kind with
+    | Uop.Alu lat ->
+        set_dst t u (cycle + lat);
+        t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+        `Issued
+    | Uop.Branch { taken; static_id } ->
+        let mis = Branch_pred.predict_update t.predictor ~static_id ~taken in
+        if mis then t.fetch_avail <- cycle + 1 + t.cfg.Mach_config.branch_penalty;
+        t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+        `Issued
+    | Uop.Load_priv addr ->
+        let lat = t.supply.Core_model.sup_mem ~cycle ~write:false ~addr in
+        set_dst t u (cycle + lat);
+        (* cache hits are pipelined; only misses block the port *)
+        t.mem_busy_until <- (cycle + if lat <= 4 then 1 else lat);
+        t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+        `Issued
+    | Uop.Store_priv addr ->
+        (* retire through a write buffer: charge the cache state change,
+           hide the latency, occupy the port for one cycle *)
+        ignore (t.supply.Core_model.sup_mem ~cycle ~write:true ~addr);
+        t.mem_busy_until <- cycle + 1;
+        t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+        `Issued
+    | Uop.Shared op -> begin
+        match t.supply.Core_model.sup_shared ~cycle ~tag:u.Uop.meta op with
+        | Uop.Sh_done { latency; value } ->
+            (match op with
+            | Uop.S_load _ ->
+                set_dst t u (cycle + latency);
+                t.mem_busy_until <- cycle + latency;
+                (match u.Uop.sink with Some k -> k value | None -> ());
+                t.stats.Stats.shared_loads <- t.stats.Stats.shared_loads + 1
+            | Uop.S_store _ ->
+                (* shared stores hold the port for their full latency:
+                   ring injection is ~1 cycle, conventional ownership
+                   acquisition is a round trip *)
+                t.mem_busy_until <- cycle + max 1 latency;
+                t.stats.Stats.shared_stores <- t.stats.Stats.shared_stores + 1
+            | Uop.S_wait _ | Uop.S_signal _ ->
+                t.stats.Stats.retired_sync <- t.stats.Stats.retired_sync + 1
+            | Uop.S_flush -> ());
+            t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+            `Issued
+        | Uop.Sh_retry ->
+            let bucket =
+              match op with
+              | Uop.S_wait _ -> Stats.Dep_wait
+              | Uop.S_load _ | Uop.S_store _ | Uop.S_signal _ | Uop.S_flush ->
+                  Stats.Communication
+            in
+            `Stall bucket
+      end
+  end
+
+let tick t cycle =
+  let lo, hi = trace_win in
+  let tracing = t.my_id = trace_core && cycle >= lo && cycle <= hi in
+  if tracing then
+    (match t.pending with
+    | Some u ->
+        Printf.eprintf "@%d core%d pending %s membusy=%d\n" cycle t.my_id
+          (Format.asprintf "%a" Uop.pp u)
+          t.mem_busy_until
+    | None -> ());
+  let issued = ref 0 in
+  let only_sync = ref true in
+  let stall = ref None in
+  let continue_ = ref true in
+  while !continue_ && !issued < t.cfg.Mach_config.width do
+    let next =
+      match t.pending with
+      | Some u -> Some u
+      | None ->
+          let u = t.supply.Core_model.sup_next () in
+          t.pending <- u;
+          u
+    in
+    match next with
+    | None ->
+        if !issued = 0 then stall := Some Stats.Idle;
+        continue_ := false
+    | Some u -> begin
+        match try_issue t u cycle with
+        | `Issued ->
+            t.pending <- None;
+            incr issued;
+            if not (Uop.is_sync u) then only_sync := false
+        | `Stall b ->
+            if !issued = 0 then stall := Some b;
+            continue_ := false
+      end
+  done;
+  let bucket =
+    if !issued > 0 then if !only_sync then Stats.Sync_instr else Stats.Busy
+    else match !stall with Some b -> b | None -> Stats.Pipeline
+  in
+  t.last_stall <- bucket;
+  Stats.charge t.stats bucket
+
+let quiescent t =
+  match t.pending with
+  | Some _ -> false
+  | None -> (
+      match t.supply.Core_model.sup_next () with
+      | None -> true
+      | Some u ->
+          t.pending <- Some u;
+          false)
+
+let stats t = t.stats
+
+let describe t =
+  match t.pending with
+  | None -> "no pending"
+  | Some u ->
+      Format.asprintf "pending=%a membusy=%d fetch_avail=%d" Uop.pp u
+        t.mem_busy_until t.fetch_avail

@@ -1,0 +1,32 @@
+(* Common interface between core timing models and the runtime.
+
+   The runtime hands each core a [supply]:
+   - [sup_next] pops the next uop on the committed path, or [None] when
+     the core has no work (loop finished, or the next iteration is not
+     assigned yet);
+   - [sup_mem] charges a private (non-segment) memory access against the
+     core's L1 path and returns its latency;
+   - [sup_shared] performs a shared-world operation *at this cycle*
+     (ring-cache or coherent access, wait/signal, flush) and either
+     completes it with a latency or asks the core to retry next cycle. *)
+
+type supply = {
+  sup_next : unit -> Uop.t option;
+  sup_mem : cycle:int -> write:bool -> addr:int -> int;
+  sup_shared : cycle:int -> tag:int -> Uop.shared_op -> Uop.shared_outcome;
+      (* [tag] is the uop's [Uop.meta]: the iteration the operation
+         belongs to *)
+}
+
+module type S = sig
+  type t
+
+  val create : Mach_config.core_config -> supply -> t
+  val tick : t -> int -> unit
+  (** [tick t cycle] advances the core by one clock cycle. *)
+
+  val quiescent : t -> bool
+  (** No uop in flight and the supply currently yields nothing. *)
+
+  val stats : t -> Stats.t
+end

@@ -1,0 +1,302 @@
+(* Out-of-order core timing model (Nehalem-like, as in Zesto).
+
+   A single unified window holds dispatched uops.  Uops issue out of order
+   when their producers have completed, bounded by issue width; they
+   commit in order.  Per the paper (Section 5.1), wait/signal and all
+   sequential-segment memory operations issue non-speculatively from the
+   head of the window -- a lightweight local fence -- so regular accesses
+   are never reordered around them.  Mispredicted branches block dispatch
+   until they resolve, plus a front-end redirect penalty. *)
+
+type entry = {
+  u : Uop.t;
+  seq : int;
+  mutable issued : bool;
+  mutable completion : int;
+  mutable committed : bool;
+  deps : entry list;            (* in-window producers of our sources *)
+  fallback_srcs : int list;     (* sources with no in-window producer *)
+  order_dep : entry option;     (* previous store-like op, for mem order *)
+  mispredicted : bool;          (* branches: known at dispatch *)
+}
+
+type t = {
+  cfg : Mach_config.core_config;
+  supply : Core_model.supply;
+  stats : Stats.t;
+  predictor : Branch_pred.t;
+  reg_ready : (int, int) Hashtbl.t;        (* committed producers *)
+  reg_writer : (int, entry) Hashtbl.t;     (* latest in-window writer *)
+  mutable window : entry list;             (* oldest first *)
+  mutable window_size : int;
+  mutable next_seq : int;
+  mutable fetch_avail : int;
+  mutable blocking_branch : entry option;  (* dispatch stalled until resolve *)
+  mutable last_mem_order : entry option;
+}
+
+let create cfg supply =
+  {
+    cfg;
+    supply;
+    stats = Stats.create ();
+    predictor = Branch_pred.create ();
+    reg_ready = Hashtbl.create 64;
+    reg_writer = Hashtbl.create 64;
+    window = [];
+    window_size = 0;
+    next_seq = 0;
+    fetch_avail = 0;
+    blocking_branch = None;
+    last_mem_order = None;
+  }
+
+let reg_ready_at t r = try Hashtbl.find t.reg_ready r with Not_found -> 0
+
+let srcs_ready t (e : entry) cycle =
+  List.for_all (fun d -> d.issued && d.completion <= cycle) e.deps
+  && List.for_all (fun r -> reg_ready_at t r <= cycle) e.fallback_srcs
+
+let order_ok (e : entry) =
+  match e.order_dep with None -> true | Some d -> d.issued
+
+let is_store_like (u : Uop.t) =
+  match u.Uop.kind with
+  | Uop.Store_priv _ | Uop.Shared _ -> true
+  | _ -> false
+
+let is_head t (e : entry) =
+  match t.window with e0 :: _ -> e0 == e | [] -> false
+
+(* -- dispatch -------------------------------------------------------- *)
+
+let dispatch t cycle =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while
+    !continue_ && !n < t.cfg.Mach_config.width
+    && t.window_size < t.cfg.Mach_config.window
+    && cycle >= t.fetch_avail
+    && t.blocking_branch = None
+  do
+    match t.supply.Core_model.sup_next () with
+    | None -> continue_ := false
+    | Some u ->
+        let deps, fallback =
+          List.fold_left
+            (fun (ds, fb) r ->
+              match Hashtbl.find_opt t.reg_writer r with
+              | Some e when not e.committed -> (e :: ds, fb)
+              | _ -> (ds, r :: fb))
+            ([], []) u.Uop.srcs
+        in
+        let mispredicted =
+          match u.Uop.kind with
+          | Uop.Branch { taken; static_id } ->
+              Branch_pred.predict_update t.predictor ~static_id ~taken
+          | _ -> false
+        in
+        let order_dep =
+          match u.Uop.kind with
+          | Uop.Load_priv _ | Uop.Store_priv _ | Uop.Shared _ ->
+              t.last_mem_order
+          | _ -> None
+        in
+        let e =
+          {
+            u;
+            seq = t.next_seq;
+            issued = false;
+            completion = max_int;
+            committed = false;
+            deps;
+            fallback_srcs = fallback;
+            order_dep;
+            mispredicted;
+          }
+        in
+        t.next_seq <- t.next_seq + 1;
+        (match u.Uop.dst with
+        | Some d -> Hashtbl.replace t.reg_writer d e
+        | None -> ());
+        if is_store_like u then t.last_mem_order <- Some e;
+        if mispredicted then t.blocking_branch <- Some e;
+        t.window <- t.window @ [ e ];
+        t.window_size <- t.window_size + 1;
+        incr n
+  done
+
+(* -- issue ----------------------------------------------------------- *)
+
+(* Try to issue entry [e]; returns true on success. *)
+let try_issue t e cycle =
+  match e.u.Uop.kind with
+  | Uop.Alu lat ->
+      e.issued <- true;
+      e.completion <- cycle + lat;
+      true
+  | Uop.Branch _ ->
+      e.issued <- true;
+      e.completion <- cycle + 1;
+      true
+  | Uop.Load_priv addr ->
+      let lat = t.supply.Core_model.sup_mem ~cycle ~write:false ~addr in
+      e.issued <- true;
+      e.completion <- cycle + lat;
+      true
+  | Uop.Store_priv addr ->
+      ignore (t.supply.Core_model.sup_mem ~cycle ~write:true ~addr);
+      e.issued <- true;
+      e.completion <- cycle + 1;
+      true
+  | Uop.Shared op -> begin
+      (* non-speculative: only from the head of the window *)
+      if not (is_head t e) then false
+      else
+        match t.supply.Core_model.sup_shared ~cycle ~tag:e.u.Uop.meta op with
+        | Uop.Sh_done { latency; value } ->
+            (match op with
+            | Uop.S_load _ -> (
+                match e.u.Uop.sink with Some k -> k value | None -> ())
+            | _ -> ());
+            (match op with
+            | Uop.S_load _ ->
+                t.stats.Stats.shared_loads <- t.stats.Stats.shared_loads + 1
+            | Uop.S_store _ ->
+                t.stats.Stats.shared_stores <- t.stats.Stats.shared_stores + 1
+            | _ -> ());
+            e.issued <- true;
+            e.completion <- cycle + max 1 latency;
+            true
+        | Uop.Sh_retry -> false
+    end
+
+let issue t cycle =
+  let ports = ref t.cfg.Mach_config.width in
+  List.iter
+    (fun e ->
+      if
+        !ports > 0 && (not e.issued)
+        && srcs_ready t e cycle
+        && order_ok e
+      then
+        if try_issue t e cycle then begin
+          decr ports;
+          (* resolve a blocking mispredicted branch *)
+          if e.mispredicted then begin
+            t.fetch_avail <- e.completion + t.cfg.Mach_config.branch_penalty;
+            match t.blocking_branch with
+            | Some b when b == e -> t.blocking_branch <- None
+            | _ -> ()
+          end
+        end)
+    t.window;
+  t.cfg.Mach_config.width - !ports
+
+(* -- commit ---------------------------------------------------------- *)
+
+let commit t cycle =
+  let n = ref 0 in
+  let rec go () =
+    match t.window with
+    | e :: rest
+      when !n < t.cfg.Mach_config.width && e.issued && e.completion <= cycle
+      -> begin
+        e.committed <- true;
+        t.window <- rest;
+        t.window_size <- t.window_size - 1;
+        incr n;
+        t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+        if Uop.is_sync e.u then
+          t.stats.Stats.retired_sync <- t.stats.Stats.retired_sync + 1;
+        (match e.u.Uop.dst with
+        | Some d ->
+            Hashtbl.replace t.reg_ready d e.completion;
+            (match Hashtbl.find_opt t.reg_writer d with
+            | Some w when w == e -> Hashtbl.remove t.reg_writer d
+            | _ -> ());
+            ()
+        | None -> ());
+        (match t.last_mem_order with
+        | Some m when m == e -> t.last_mem_order <- None
+        | _ -> ());
+        go ()
+      end
+    | _ -> ()
+  in
+  go ();
+  !n
+
+(* -- one clock ------------------------------------------------------- *)
+
+let tick t cycle =
+  let committed = commit t cycle in
+  let issued = issue t cycle in
+  dispatch t cycle;
+  let bucket =
+    if issued > 0 || committed > 0 then begin
+      (* busy unless purely synchronization is flowing *)
+      let only_sync =
+        t.window <> []
+        && List.for_all (fun e -> (not e.issued) || Uop.is_sync e.u) t.window
+      in
+      if only_sync && issued > 0 then Stats.Sync_instr else Stats.Busy
+    end
+    else
+      match t.window with
+      | [] -> Stats.Idle
+      | e :: _ -> begin
+          match (e.u.Uop.kind, e.issued) with
+          | Uop.Shared (Uop.S_wait _), false -> Stats.Dep_wait
+          | Uop.Shared _, false -> Stats.Communication
+          | (Uop.Load_priv _ | Uop.Store_priv _), true -> Stats.Mem_stall
+          | Uop.Shared (Uop.S_load _), true -> Stats.Communication
+          | _ -> Stats.Pipeline
+        end
+  in
+  Stats.charge t.stats bucket
+
+let quiescent t =
+  t.window = []
+  &&
+  match t.supply.Core_model.sup_next () with
+  | None -> true
+  | Some u ->
+      (* push it back by dispatching it into the (empty) window *)
+      let e =
+        {
+          u;
+          seq = t.next_seq;
+          issued = false;
+          completion = max_int;
+          committed = false;
+          deps = [];
+          fallback_srcs = u.Uop.srcs;
+          order_dep = None;
+          mispredicted = false;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      (match u.Uop.dst with
+      | Some d -> Hashtbl.replace t.reg_writer d e
+      | None -> ());
+      if is_store_like u then t.last_mem_order <- Some e;
+      t.window <- [ e ];
+      t.window_size <- 1;
+      false
+
+let stats t = t.stats
+
+(* Diagnostic snapshot of the window head, for deadlock reports. *)
+let describe t =
+  match t.window with
+  | [] -> "window empty"
+  | entries ->
+      String.concat " | "
+        (List.map
+           (fun e ->
+             Format.asprintf "%a%s" Uop.pp e.u
+               (if e.issued then "!" else "?"))
+           entries)
+      ^ Printf.sprintf " (fetch_avail=%d blocked=%b)" t.fetch_avail
+        (t.blocking_branch <> None)

@@ -1,0 +1,11 @@
+(** Banked DRAM timing model (DRAMSim2 stand-in): per-bank serialization
+    with an open-row discount. *)
+
+type t
+
+val create : latency:int -> banks:int -> t
+
+val access : t -> cycle:int -> int -> int
+(** Total latency (queueing included) of a request issued at [cycle]. *)
+
+val row_hit_rate : t -> float

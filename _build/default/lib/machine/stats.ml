@@ -1,0 +1,89 @@
+(* Per-core cycle accounting.
+
+   Every simulated cycle of every core is attributed to exactly one
+   bucket.  The buckets follow the overhead taxonomy of Figure 12 (via
+   Burger et al.'s methodology): a cycle is useful computation, or it is
+   lost to synchronization instructions, dependence waiting, communication
+   of shared data, the private memory hierarchy, or idling (no iteration
+   assigned -- low trip count / iteration imbalance). *)
+
+type bucket =
+  | Busy              (* at least one uop issued *)
+  | Sync_instr        (* issuing/executing wait-signal instructions *)
+  | Dep_wait          (* blocked in wait for a predecessor's signal *)
+  | Communication     (* stalled on shared-data transfer (ring or c2c) *)
+  | Mem_stall         (* stalled on private cache miss *)
+  | Pipeline          (* RAW / structural / branch-penalty stalls *)
+  | Idle              (* no work available *)
+
+let all_buckets =
+  [ Busy; Sync_instr; Dep_wait; Communication; Mem_stall; Pipeline; Idle ]
+
+let bucket_name = function
+  | Busy -> "busy"
+  | Sync_instr -> "wait/signal"
+  | Dep_wait -> "dependence-waiting"
+  | Communication -> "communication"
+  | Mem_stall -> "memory"
+  | Pipeline -> "pipeline"
+  | Idle -> "idle"
+
+type t = {
+  mutable cycles : int;
+  mutable retired : int;
+  mutable retired_sync : int;    (* wait+signal instructions retired *)
+  mutable shared_loads : int;
+  mutable shared_stores : int;
+  by_bucket : (bucket, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    cycles = 0;
+    retired = 0;
+    retired_sync = 0;
+    shared_loads = 0;
+    shared_stores = 0;
+    by_bucket = Hashtbl.create 7;
+  }
+
+let charge t bucket =
+  t.cycles <- t.cycles + 1;
+  Hashtbl.replace t.by_bucket bucket
+    (1 + (try Hashtbl.find t.by_bucket bucket with Not_found -> 0))
+
+let get t bucket = try Hashtbl.find t.by_bucket bucket with Not_found -> 0
+
+let merge (ts : t list) =
+  let m = create () in
+  List.iter
+    (fun t ->
+      m.cycles <- m.cycles + t.cycles;
+      m.retired <- m.retired + t.retired;
+      m.retired_sync <- m.retired_sync + t.retired_sync;
+      m.shared_loads <- m.shared_loads + t.shared_loads;
+      m.shared_stores <- m.shared_stores + t.shared_stores;
+      List.iter
+        (fun b ->
+          let v = get t b in
+          if v > 0 then
+            Hashtbl.replace m.by_bucket b (v + get m b))
+        all_buckets)
+    ts;
+  m
+
+let fraction t bucket =
+  if t.cycles = 0 then 0.0
+  else float_of_int (get t bucket) /. float_of_int t.cycles
+
+let pp ppf t =
+  Format.fprintf ppf "cycles=%d retired=%d ipc=%.2f" t.cycles t.retired
+    (if t.cycles = 0 then 0.0
+     else float_of_int t.retired /. float_of_int t.cycles);
+  List.iter
+    (fun b ->
+      let v = get t b in
+      if v > 0 then
+        Format.fprintf ppf " %s=%.1f%%" (bucket_name b)
+          (100.0 *. float_of_int v /. float_of_int t.cycles))
+    all_buckets

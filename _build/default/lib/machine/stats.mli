@@ -1,0 +1,30 @@
+(** Per-core cycle accounting: every simulated cycle lands in exactly one
+    bucket, following the overhead taxonomy of Figure 12. *)
+
+type bucket =
+  | Busy
+  | Sync_instr
+  | Dep_wait
+  | Communication
+  | Mem_stall
+  | Pipeline
+  | Idle
+
+val all_buckets : bucket list
+val bucket_name : bucket -> string
+
+type t = {
+  mutable cycles : int;
+  mutable retired : int;
+  mutable retired_sync : int;
+  mutable shared_loads : int;
+  mutable shared_stores : int;
+  by_bucket : (bucket, int) Hashtbl.t;
+}
+
+val create : unit -> t
+val charge : t -> bucket -> unit
+val get : t -> bucket -> int
+val merge : t list -> t
+val fraction : t -> bucket -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ring/node_array.ml: Array Hashtbl

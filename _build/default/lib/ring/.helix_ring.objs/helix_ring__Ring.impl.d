@@ -1,0 +1,1 @@
+lib/ring/ring.ml: Array Buffer Format Hashtbl List Msg Node_array Owner Printf Queue Signal_buffer

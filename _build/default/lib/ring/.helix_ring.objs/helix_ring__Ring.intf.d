@@ -1,0 +1,1 @@
+lib/ring/ring.mli:

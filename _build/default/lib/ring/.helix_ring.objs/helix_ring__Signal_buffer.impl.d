@@ -1,0 +1,1 @@
+lib/ring/signal_buffer.ml: Hashtbl Printf

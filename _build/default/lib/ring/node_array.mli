@@ -1,0 +1,21 @@
+(** Per-node cache array: set-associative, LRU, one-word lines by default
+    (Section 5.1 — no false sharing; a configurable line size exists for
+    the ablation that demonstrates why one word is a correctness
+    requirement).  An unbounded variant backs the "unlimited resources"
+    configurations. *)
+
+type t
+
+val create : ?line_words:int -> size_words:int -> assoc:int -> unit -> t
+(** [size_words = max_int] selects the unbounded variant. *)
+
+val lookup : t -> int -> int option
+val insert : t -> int -> int -> (int * int array) option
+(** Returns the evicted line [(line_addr, values)] if a valid line was
+    displaced. *)
+
+val invalidate : t -> int -> unit
+val clear : t -> unit
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float

@@ -1,0 +1,9 @@
+(** Owner-node hashing: every address permanently maps to one ring node,
+    its serialization point for L1 interactions (Section 5.2).  All words
+    of a conventional cache line share an owner. *)
+
+val line_words : int
+
+val node_of : n_nodes:int -> int -> int
+val forward_distance : n_nodes:int -> src:int -> dst:int -> int
+val undirected_distance : n_nodes:int -> src:int -> dst:int -> int

@@ -1,0 +1,500 @@
+(* The ring cache: a unidirectional ring of per-core nodes that proactively
+   circulates shared data and synchronization signals (paper Section 5).
+
+   Timing model and functional model are coupled: node arrays hold real
+   (possibly not-yet-updated) values, so a protocol violation -- e.g. a
+   load executed without its wait -- returns stale data and is caught by
+   the end-to-end memory oracle.
+
+   Flow control: links have bounded buffers (credit-based in hardware); a
+   node forwards ring traffic with priority and injects local stores and
+   signals only on cycles with no traffic to forward, which preserves the
+   invariant that a message in flight always finds buffer space ahead and
+   keeps the ring deadlock-free.
+
+   The authoritative image of all shared stores performed during the
+   current parallel loop lives in [current], updated in injection order --
+   which, by the compiler's guarantees plus in-order links, is exactly the
+   order in which segment instances execute.  Ring misses (capacity) are
+   served from it after a full-lap round trip through the owner node's L1
+   path. *)
+
+type config = {
+  n_nodes : int;
+  link_latency : int;        (* cycles per hop *)
+  data_bandwidth : int;      (* data messages per link per cycle *)
+  signal_bandwidth : int;    (* signal messages per link per cycle *)
+  injection_latency : int;   (* core to ring-node *)
+  array_size_words : int;    (* per-node cache array; max_int = unbounded *)
+  array_assoc : int;
+  array_line_words : int;    (* 1 word: no false sharing *)
+  link_capacity : int;       (* per-link buffering (credits) *)
+  inject_capacity : int;     (* per-node injection queue *)
+  (* ablation knobs (defaults reproduce the paper's design) *)
+  greedy_sig_inject : bool;  (* signal wires inject with leftover bandwidth *)
+  flush_invalidates : bool;  (* flush drops clean copies too *)
+}
+
+let default_config ~n_nodes =
+  {
+    n_nodes;
+    link_latency = 1;
+    data_bandwidth = 1;
+    signal_bandwidth = 5;
+    injection_latency = 2;
+    array_size_words = 128; (* 1KB of 8-byte words *)
+    array_assoc = 8;
+    array_line_words = 1;
+    link_capacity = 4;
+    inject_capacity = 8;
+    greedy_sig_inject = true;
+    flush_invalidates = false;
+  }
+
+(* Callbacks into the rest of the memory system. *)
+type env = {
+  backing_load : int -> int;          (* L1/L2/DRAM functional read *)
+  backing_store : int -> int -> unit; (* flush write-back *)
+  owner_l1_latency : core:int -> cycle:int -> write:bool -> addr:int -> int;
+}
+
+type store_meta = {
+  sm_origin : int;
+  mutable sm_consumers : int;         (* bitmask of consumer nodes *)
+  mutable sm_first_dist : int option; (* producer -> first consumer *)
+}
+
+(* One traffic class (data or signals): its input buffer at each node, its
+   injection queue from the attached core, and its link wires.  The paper
+   uses "separate dedicated wires for data and signals" (Section 6.3), so
+   the two classes never block each other. *)
+type node = {
+  id : int;
+  array : Node_array.t;
+  sigbuf : Signal_buffer.t;
+  in_data : Msg.t Queue.t;
+  in_sig : Msg.t Queue.t;
+  inject_data : (int * Msg.payload * int) Queue.t;
+      (* (ready_cycle, payload, acceptance seq) *)
+  inject_sig : (int * Msg.payload * int) Queue.t;
+  mutable stall_until : int;              (* busy with L1 traffic *)
+  mutable forwarded : int;
+  mutable injected : int;
+  mutable last_accepted_data : int;       (* newest data seq from my core *)
+  applied_data : int array;               (* per-origin newest applied seq *)
+}
+
+type t = {
+  cfg : config;
+  env : env;
+  nodes : node array;
+  links_data : (int * Msg.t) Queue.t array; (* link i: node i -> node i+1 *)
+  links_sig : (int * Msg.t) Queue.t array;
+  mutable next_seq : int;
+  current : (int, int) Hashtbl.t;      (* authoritative loop-shared image *)
+  meta : (int, store_meta) Hashtbl.t;  (* live store metadata per address *)
+  (* figure-4 histograms: index 0 unused; 1..5 exact; 6 = "6+" *)
+  dist_hist : int array;
+  consumers_hist : int array;
+  mutable ring_hits : int;
+  mutable ring_misses : int;
+  mutable blocked_injections : int;
+  mutable messages_retired : int;
+  resident : (int, unit) Hashtbl.t;
+      (* superset of addresses cached in some node array, so serial-phase
+         stores can invalidate stale copies cheaply *)
+}
+
+let create (cfg : config) (env : env) : t =
+  {
+    cfg;
+    env;
+    nodes =
+      Array.init cfg.n_nodes (fun id ->
+          {
+            id;
+            array =
+              Node_array.create ~line_words:cfg.array_line_words
+                ~size_words:cfg.array_size_words ~assoc:cfg.array_assoc ();
+            sigbuf = Signal_buffer.create ();
+            in_data = Queue.create ();
+            in_sig = Queue.create ();
+            inject_data = Queue.create ();
+            inject_sig = Queue.create ();
+            stall_until = 0;
+            forwarded = 0;
+            injected = 0;
+            last_accepted_data = -1;
+            applied_data = Array.make cfg.n_nodes (-1);
+          });
+    links_data = Array.init cfg.n_nodes (fun _ -> Queue.create ());
+    links_sig = Array.init cfg.n_nodes (fun _ -> Queue.create ());
+    next_seq = 0;
+    current = Hashtbl.create 1024;
+    meta = Hashtbl.create 1024;
+    dist_hist = Array.make 7 0;
+    consumers_hist = Array.make 7 0;
+    ring_hits = 0;
+    ring_misses = 0;
+    blocked_injections = 0;
+    messages_retired = 0;
+    resident = Hashtbl.create 1024;
+  }
+
+let succ t i = (i + 1) mod t.cfg.n_nodes
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let bucket_of n = if n >= 6 then 6 else n
+
+let finalize_meta t addr =
+  match Hashtbl.find_opt t.meta addr with
+  | None -> ()
+  | Some m ->
+      let nc = popcount m.sm_consumers in
+      if nc > 0 then begin
+        t.consumers_hist.(bucket_of nc) <- t.consumers_hist.(bucket_of nc) + 1;
+        match m.sm_first_dist with
+        | Some d when d >= 1 ->
+            t.dist_hist.(bucket_of d) <- t.dist_hist.(bucket_of d) + 1
+        | _ -> ()
+      end;
+      Hashtbl.remove t.meta addr
+
+(* -- core-facing operations ----------------------------------------- *)
+
+(* A store from the attached core.  Returns false when the injection queue
+   is full (the core retries next cycle).  The authoritative image is
+   updated immediately: acceptance order is the protocol's store order. *)
+let try_store t ~node ~addr ~value ~cycle =
+  let n = t.nodes.(node) in
+  if Queue.length n.inject_data >= t.cfg.inject_capacity then begin
+    t.blocked_injections <- t.blocked_injections + 1;
+    false
+  end
+  else begin
+    finalize_meta t addr;
+    Hashtbl.replace t.meta addr
+      { sm_origin = node; sm_consumers = 0; sm_first_dist = None };
+    Hashtbl.replace t.current addr value;
+    (* locally visible right away; remote nodes see it when it arrives *)
+    ignore (Node_array.insert n.array addr value);
+    Hashtbl.replace t.resident addr ();
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    n.last_accepted_data <- seq;
+    (* the store is applied locally at acceptance *)
+    n.applied_data.(node) <- seq;
+    Queue.add
+      (cycle + t.cfg.injection_latency, Msg.Data { addr; value }, seq)
+      n.inject_data;
+    true
+  end
+
+let try_signal t ~node ~seg ~cycle =
+  let n = t.nodes.(node) in
+  if Queue.length n.inject_sig >= t.cfg.inject_capacity then begin
+    t.blocked_injections <- t.blocked_injections + 1;
+    false
+  end
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Queue.add
+      ( cycle + t.cfg.injection_latency,
+        Msg.Sig { seg; barrier = n.last_accepted_data },
+        seq )
+      n.inject_sig;
+    true
+  end
+
+(* A load from the attached core, executed at [cycle].  Returns the value
+   and the total latency.  Hits read the node's local array (which may
+   legitimately hold a value older than [current] -- that is the
+   decoupling semantics the wait protocol must protect against).  Misses
+   go around the ring to the owner's L1 path and return the authoritative
+   value. *)
+let load t ~node ~addr ~cycle =
+  let n = t.nodes.(node) in
+  match Node_array.lookup n.array addr with
+  | Some v ->
+      t.ring_hits <- t.ring_hits + 1;
+      (* consumer tracking for Figures 4b/4c *)
+      (match Hashtbl.find_opt t.meta addr with
+      | Some m when m.sm_origin <> node ->
+          m.sm_consumers <- m.sm_consumers lor (1 lsl node);
+          if m.sm_first_dist = None then
+            m.sm_first_dist <-
+              Some
+                (Owner.undirected_distance ~n_nodes:t.cfg.n_nodes
+                   ~src:m.sm_origin ~dst:node)
+      | _ -> ());
+      (v, t.cfg.injection_latency + 1)
+  | None ->
+      t.ring_misses <- t.ring_misses + 1;
+      let owner = Owner.node_of ~n_nodes:t.cfg.n_nodes addr in
+      let value =
+        match Hashtbl.find_opt t.current addr with
+        | Some v -> v
+        | None -> t.env.backing_load addr
+      in
+      (* round trip: to the owner and back around the ring, plus the
+         owner's L1 access; the owner stalls while servicing *)
+      let l1 =
+        t.env.owner_l1_latency ~core:owner ~cycle ~write:false ~addr
+      in
+      let lat =
+        t.cfg.injection_latency
+        + (t.cfg.n_nodes * t.cfg.link_latency)
+        + l1
+      in
+      let on = t.nodes.(owner) in
+      on.stall_until <- max on.stall_until (cycle + l1);
+      ignore (Node_array.insert n.array addr value);
+      Hashtbl.replace t.resident addr ();
+      (value, lat)
+
+(* Has [node] received at least [threshold] signals for [seg] from
+   [origin]?  (The executor derives thresholds from iteration indices.) *)
+let signals_satisfied t ~node ~seg ~origin ~threshold =
+  Signal_buffer.satisfied t.nodes.(node).sigbuf ~seg ~origin ~threshold
+
+let max_outstanding_signals t =
+  Array.fold_left
+    (fun acc n -> max acc (Signal_buffer.max_outstanding n.sigbuf))
+    0 t.nodes
+
+(* Serial-phase (non-segment) stores to an address cached in the ring
+   must invalidate the stale copies: the compiler guarantees shared
+   locations are ring-only *during* a parallel loop, but between loops
+   ordinary code may write them. *)
+let invalidate_addr t addr =
+  if Hashtbl.mem t.resident addr then begin
+    Array.iter (fun n -> Node_array.invalidate n.array addr) t.nodes;
+    Hashtbl.remove t.resident addr
+  end
+
+(* Are the data channels empty?  The flush keeps node arrays valid across
+   invocations, so all data must land before the loop retires. *)
+let data_drained t =
+  Array.for_all Queue.is_empty t.links_data
+  && Array.for_all
+       (fun n -> Queue.is_empty n.in_data && Queue.is_empty n.inject_data)
+       t.nodes
+
+(* -- ring clock ------------------------------------------------------ *)
+
+let class_of_msg t msg =
+  if Msg.is_data msg then (t.links_data, fun n -> n.in_data)
+  else (t.links_sig, fun n -> n.in_sig)
+
+let link_free_space t links in_of i =
+  t.cfg.link_capacity
+  - Queue.length links.(i)
+  - Queue.length (in_of t.nodes.(succ t i))
+
+let send t (msg : Msg.t) i ~cycle =
+  let links, _ = class_of_msg t msg in
+  Queue.add (cycle + t.cfg.link_latency, msg) links.(i)
+
+(* Apply a message arriving at node [n]; returns true if it must keep
+   travelling (successor is not its origin). *)
+let apply_at t (n : node) (msg : Msg.t) =
+  (match msg.Msg.payload with
+  | Msg.Data { addr; value } ->
+      ignore (Node_array.insert n.array addr value);
+      if msg.Msg.seq > n.applied_data.(msg.Msg.origin) then
+        n.applied_data.(msg.Msg.origin) <- msg.Msg.seq
+  | Msg.Sig { seg; _ } ->
+      Signal_buffer.record n.sigbuf ~seg ~origin:msg.Msg.origin);
+  succ t n.id <> msg.Msg.origin
+
+(* Lockstep: a signal is held at a node until the data injected before it
+   by the same origin has been applied here. *)
+let lockstep_ok (n : node) (msg : Msg.t) =
+  match msg.Msg.payload with
+  | Msg.Sig { barrier; _ } -> n.applied_data.(msg.Msg.origin) >= barrier
+  | Msg.Data _ -> true
+
+let tick t ~cycle =
+  (* 1. deliver arrived link messages into input buffers *)
+  let deliver links in_of =
+    Array.iteri
+      (fun i link ->
+        let dst = t.nodes.(succ t i) in
+        let continue_ = ref true in
+        while !continue_ && not (Queue.is_empty link) do
+          let arrival, _ = Queue.peek link in
+          if arrival <= cycle then begin
+            let _, msg = Queue.pop link in
+            Queue.add msg (in_of dst)
+          end
+          else continue_ := false
+        done)
+      links
+  in
+  deliver t.links_data (fun n -> n.in_data);
+  deliver t.links_sig (fun n -> n.in_sig);
+  (* 2. per node and per class: forward ring traffic with priority over
+     local injection; the two classes use dedicated wires *)
+  let run_class (n : node) in_q inject_q links in_of budget0 ~greedy_inject =
+    let budget = ref budget0 in
+    let forwarded_any = ref false in
+    let continue_ = ref true in
+    while !continue_ && !budget > 0 && not (Queue.is_empty in_q) do
+      let msg = Queue.peek in_q in
+      let travels_on = succ t n.id <> msg.Msg.origin in
+      if not (lockstep_ok n msg) then continue_ := false
+      else if travels_on && link_free_space t links in_of n.id <= 0 then
+        continue_ := false (* back-pressure: wait for credits *)
+      else begin
+        let msg = Queue.pop in_q in
+        let keep = apply_at t n msg in
+        decr budget;
+        if keep then begin
+          send t msg n.id ~cycle;
+          n.forwarded <- n.forwarded + 1;
+          forwarded_any := true
+        end
+        else t.messages_retired <- t.messages_retired + 1
+      end
+    done;
+    (* injection: data follows the paper's strict priority rule (inject
+       only when nothing was forwarded); the wider dedicated signal wires
+       may inject with leftover bandwidth, or signal bursts would starve *)
+    if greedy_inject || not !forwarded_any then begin
+      let continue_ = ref true in
+      while !continue_ && !budget > 0 && not (Queue.is_empty inject_q) do
+        let ready, payload, seq = Queue.peek inject_q in
+        let msg = { Msg.payload; origin = n.id; seq } in
+        if ready > cycle then continue_ := false
+        else if not (lockstep_ok n msg) then continue_ := false
+        else if link_free_space t links in_of n.id <= 0 then continue_ := false
+        else begin
+          ignore (Queue.pop inject_q);
+          decr budget;
+          if t.cfg.n_nodes > 1 then send t msg n.id ~cycle
+          else t.messages_retired <- t.messages_retired + 1;
+          n.injected <- n.injected + 1
+        end
+      done
+    end
+  in
+  Array.iter
+    (fun n ->
+      if cycle >= n.stall_until then begin
+        run_class n n.in_data n.inject_data t.links_data
+          (fun nd -> nd.in_data) t.cfg.data_bandwidth ~greedy_inject:false;
+        run_class n n.in_sig n.inject_sig t.links_sig
+          (fun nd -> nd.in_sig) t.cfg.signal_bandwidth
+          ~greedy_inject:t.cfg.greedy_sig_inject
+      end)
+    t.nodes
+
+(* Is any message still in flight (links, input buffers, injections)? *)
+let drained t =
+  Array.for_all Queue.is_empty t.links_data
+  && Array.for_all Queue.is_empty t.links_sig
+  && Array.for_all
+       (fun n ->
+         Queue.is_empty n.in_data && Queue.is_empty n.in_sig
+         && Queue.is_empty n.inject_data
+         && Queue.is_empty n.inject_sig)
+       t.nodes
+
+(* -- end-of-loop flush ----------------------------------------------- *)
+
+(* Flush dirty owned values to the memory hierarchy (the distributed fence
+   executed when a parallel loop finishes, Section 5.2), reset arrays and
+   signal buffers, and finalize sharing statistics.  Returns the latency
+   charged to the loop epilogue. *)
+let flush t ~cycle =
+  let dirty = Hashtbl.length t.current in
+  Hashtbl.iter (fun addr v -> t.env.backing_store addr v) t.current;
+  let per_node = Array.make t.cfg.n_nodes 0 in
+  Hashtbl.iter
+    (fun addr _ ->
+      let o = Owner.node_of ~n_nodes:t.cfg.n_nodes addr in
+      per_node.(o) <- per_node.(o) + 1)
+    t.current;
+  Hashtbl.reset t.current;
+  let addrs = Hashtbl.fold (fun a _ acc -> a :: acc) t.meta [] in
+  List.iter (finalize_meta t) addrs;
+  if t.cfg.flush_invalidates then Hashtbl.reset t.resident;
+  Array.iter
+    (fun n ->
+      (* dirty values are written back above; clean copies stay valid so
+         the next invocation hits (only synchronization state resets) --
+         unless the invalidate-all ablation is on *)
+      if t.cfg.flush_invalidates then Node_array.clear n.array;
+      Signal_buffer.reset n.sigbuf;
+      Queue.clear n.in_data;
+      Queue.clear n.in_sig;
+      Queue.clear n.inject_data;
+      Queue.clear n.inject_sig;
+      (* the flush is a global synchronization point: every message
+         accepted so far counts as applied, so stale lockstep barriers
+         cannot wedge the next parallel loop *)
+      Array.fill n.applied_data 0 (Array.length n.applied_data)
+        (t.next_seq - 1))
+    t.nodes;
+  Array.iter Queue.clear t.links_data;
+  Array.iter Queue.clear t.links_sig;
+  ignore cycle;
+  (* each owner writes its share back in parallel; charge the max *)
+  let max_share = Array.fold_left max 0 per_node in
+  if dirty = 0 then 1 else 2 * max_share |> max 1
+
+(* Diagnostic dump for deadlock reports. *)
+let describe t =
+  let b = Buffer.create 256 in
+  Array.iteri
+    (fun i n ->
+      if i <= 2 then
+        Buffer.add_string b
+          (Printf.sprintf "    node %d sigbuf:%s\n" i
+             (Signal_buffer.dump n.sigbuf)))
+    t.nodes;
+  Array.iter
+    (fun n ->
+      if
+        not
+          (Queue.is_empty n.in_data && Queue.is_empty n.in_sig
+          && Queue.is_empty n.inject_data
+          && Queue.is_empty n.inject_sig)
+      then
+        Buffer.add_string b
+          (Printf.sprintf
+             "    node %d: in_data=%d in_sig=%d injd=%d injs=%d stall=%d\n"
+             n.id (Queue.length n.in_data) (Queue.length n.in_sig)
+             (Queue.length n.inject_data)
+             (Queue.length n.inject_sig)
+             n.stall_until))
+    t.nodes;
+  Array.iteri
+    (fun i l ->
+      if not (Queue.is_empty l) then
+        Buffer.add_string b
+          (Printf.sprintf "    link_data %d: %d msgs (head %s)\n" i
+             (Queue.length l)
+             (let _, m = Queue.peek l in
+              Format.asprintf "%a" Msg.pp m)))
+    t.links_data;
+  Array.iteri
+    (fun i l ->
+      if not (Queue.is_empty l) then
+        Buffer.add_string b
+          (Printf.sprintf "    link_sig %d: %d msgs (head %s)\n" i
+             (Queue.length l)
+             (let _, m = Queue.peek l in
+              Format.asprintf "%a" Msg.pp m)))
+    t.links_sig;
+  Buffer.contents b
+
+let dist_histogram t = Array.copy t.dist_hist
+let consumers_histogram t = Array.copy t.consumers_hist
+let ring_hit_rate t =
+  let tot = t.ring_hits + t.ring_misses in
+  if tot = 0 then 1.0 else float_of_int t.ring_hits /. float_of_int tot

@@ -1,0 +1,87 @@
+(** The ring cache (paper Section 5): one node per core on a
+    unidirectional ring, proactively circulating shared data and
+    synchronization signals on dedicated credit-bounded wires.
+
+    The model is functional *and* timed: node arrays hold real, possibly
+    not-yet-updated values, so a protocol violation (a load without its
+    wait) observably returns stale data.  Signals carry a lockstep
+    barrier — the acceptance sequence number of their origin's last store
+    — and no node applies or forwards a signal before applying that
+    store, implementing "signals move in lockstep with forwarded
+    data". *)
+
+type config = {
+  n_nodes : int;
+  link_latency : int;        (** cycles per hop *)
+  data_bandwidth : int;      (** data messages per link per cycle *)
+  signal_bandwidth : int;    (** signal messages per link per cycle *)
+  injection_latency : int;   (** core to ring-node *)
+  array_size_words : int;    (** per-node array; [max_int] = unbounded *)
+  array_assoc : int;
+  array_line_words : int;    (** 1 word: no false sharing *)
+  link_capacity : int;       (** per-link buffering (credits) *)
+  inject_capacity : int;
+  greedy_sig_inject : bool;  (** ablation: signal wires inject with
+                                 leftover bandwidth *)
+  flush_invalidates : bool;  (** ablation: flush drops clean copies *)
+}
+
+val default_config : n_nodes:int -> config
+(** The paper's default: 1-cycle links, 1-word data / 5-signal bandwidth,
+    2-cycle injection, 1KB 8-way single-word-line arrays. *)
+
+(** Callbacks into the rest of the memory system. *)
+type env = {
+  backing_load : int -> int;
+  backing_store : int -> int -> unit;
+  owner_l1_latency : core:int -> cycle:int -> write:bool -> addr:int -> int;
+}
+
+type t
+
+val create : config -> env -> t
+
+(** {1 Core-facing operations} *)
+
+val try_store : t -> node:int -> addr:int -> value:int -> cycle:int -> bool
+(** Inject a store.  [false] = injection queue full, retry next cycle.
+    The value is locally visible immediately; remote nodes see it when
+    the message arrives. *)
+
+val try_signal : t -> node:int -> seg:int -> cycle:int -> bool
+
+val load : t -> node:int -> addr:int -> cycle:int -> int * int
+(** [(value, latency)].  Hits read the local array (possibly stale — the
+    wait protocol's job); misses take a full-lap round trip through the
+    owner node's L1 path and return the authoritative value. *)
+
+val signals_satisfied :
+  t -> node:int -> seg:int -> origin:int -> threshold:int -> bool
+
+val max_outstanding_signals : t -> int
+(** For asserting the compiler's ≤2 in-flight-signals bound. *)
+
+(** {1 Clocking and maintenance} *)
+
+val tick : t -> cycle:int -> unit
+(** Advance the network one cycle: deliver arrived messages, forward with
+    priority over injection (strictly on the data wires), inject. *)
+
+val drained : t -> bool
+val data_drained : t -> bool
+
+val invalidate_addr : t -> int -> unit
+(** Serial-phase stores to ring-resident addresses must drop every stale
+    copy. *)
+
+val flush : t -> cycle:int -> int
+(** End-of-loop distributed fence: write dirty values back, reset
+    synchronization state, keep clean copies (unless
+    [flush_invalidates]).  Returns the latency to charge. *)
+
+(** {1 Statistics (Figures 4b/4c and sensitivity)} *)
+
+val dist_histogram : t -> int array
+val consumers_histogram : t -> int array
+val ring_hit_rate : t -> float
+val describe : t -> string

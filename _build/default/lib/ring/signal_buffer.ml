@@ -1,0 +1,53 @@
+(* Per-node signal buffer.
+
+   Stores, for every (sequential segment, origin core) pair, the number of
+   signals received.  Counters are monotone; the consumer-side wait logic
+   compares them against the iteration-derived threshold.  The paper's
+   "past/future" two-slot design corresponds to the compiler-guaranteed
+   invariant that at most two signals per segment from a given core are
+   ever un-consumed; [max_outstanding] lets the runtime assert it. *)
+
+type t = {
+  counts : (int * int, int) Hashtbl.t; (* (segment, origin) -> received *)
+  consumed : (int * int, int) Hashtbl.t; (* threshold already waited-for *)
+  mutable max_outstanding : int;
+}
+
+let create () =
+  { counts = Hashtbl.create 32; consumed = Hashtbl.create 32; max_outstanding = 0 }
+
+let received t ~seg ~origin =
+  try Hashtbl.find t.counts (seg, origin) with Not_found -> 0
+
+let record t ~seg ~origin =
+  let k = (seg, origin) in
+  let c = 1 + (try Hashtbl.find t.counts k with Not_found -> 0) in
+  Hashtbl.replace t.counts k c;
+  let cons = try Hashtbl.find t.consumed k with Not_found -> 0 in
+  t.max_outstanding <- max t.max_outstanding (c - cons)
+
+(* [satisfied t ~seg ~origin ~threshold] checks whether at least
+   [threshold] signals have arrived, marking them consumed for the
+   outstanding-signal accounting. *)
+let satisfied t ~seg ~origin ~threshold =
+  let ok = received t ~seg ~origin >= threshold in
+  if ok then begin
+    let k = (seg, origin) in
+    let cons = try Hashtbl.find t.consumed k with Not_found -> 0 in
+    if threshold > cons then Hashtbl.replace t.consumed k threshold
+  end;
+  ok
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.consumed;
+  t.max_outstanding <- 0
+
+let max_outstanding t = t.max_outstanding
+
+let dump t =
+  Hashtbl.fold
+    (fun (seg, origin) c acc ->
+      acc ^ Printf.sprintf " (seg%d,from%d)=%d" seg origin c)
+    t.counts ""
+

@@ -1,0 +1,16 @@
+(** Per-node signal buffer: monotone counters of received signals per
+    (sequential segment, origin core).  The consumer-side wait compares
+    them against iteration-derived thresholds; the paper's "past/future"
+    two-slot design corresponds to the compiler-guaranteed bound of at
+    most two un-consumed signals per pair, which [max_outstanding] lets
+    the runtime assert. *)
+
+type t
+
+val create : unit -> t
+val record : t -> seg:int -> origin:int -> unit
+val received : t -> seg:int -> origin:int -> int
+val satisfied : t -> seg:int -> origin:int -> threshold:int -> bool
+val reset : t -> unit
+val max_outstanding : t -> int
+val dump : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List W_ammp W_art W_bzip2 W_equake W_gzip W_mcf W_mesa W_parser W_twolf W_vpr Workload

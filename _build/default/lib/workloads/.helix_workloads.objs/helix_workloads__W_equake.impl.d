@@ -1,0 +1,1 @@
+lib/workloads/w_equake.ml: Builder Helix_ir Ir Memory Workload

@@ -1,0 +1,21 @@
+(* All SPEC CPU2000 workload models, in the paper's presentation order. *)
+
+let integer : Workload.t list =
+  [
+    W_gzip.workload;
+    W_vpr.workload;
+    W_parser.workload;
+    W_twolf.workload;
+    W_mcf.workload;
+    W_bzip2.workload;
+  ]
+
+let floating : Workload.t list =
+  [ W_equake.workload; W_art.workload; W_ammp.workload; W_mesa.workload ]
+
+let all = integer @ floating
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Registry.find: unknown workload " ^ name)

@@ -1,0 +1,125 @@
+open Helix_ir
+open Workload
+
+(* 188.ammp model -- molecular dynamics force evaluation.
+
+   The hot loop iterates over atoms; each iteration scans the atom's
+   neighbor list (beefy: ~16 pairwise interactions with division-heavy
+   arithmetic), accumulates forces into the atom's own slots
+   (iteration-affine, independent) and a global potential-energy cell --
+   the single genuinely carried memory dependence, which makes
+   dependence waiting ammp's dominant (if small) overhead (12.5x in
+   Fig. 12).  The energy accumulation is branchless so the segment stays
+   tight.  A second DOALL phase integrates positions. *)
+
+let natoms = 2048
+let nbrs = 16
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let pos = Memory.Layout.alloc layout "pos" natoms in
+  let nbr = Memory.Layout.alloc layout "nbr" (natoms * nbrs) in
+  let force = Memory.Layout.alloc layout "force" natoms in
+  let pe = Memory.Layout.alloc layout "pe" 8 in
+  let an_pos = an_of pos ~path:"atom.pos" ~ty:"fp" () in
+  (* integration touches each atom exactly once per iteration *)
+  let an_pos_aff = an_of pos ~path:"atom.pos" ~ty:"fp" ~affine:0 () in
+  let an_nbr = an_of nbr ~path:"nbr[]" ~ty:"idx" ~affine:0 () in
+  let an_force = an_of force ~path:"atom.force" ~ty:"fp" ~affine:0 () in
+  let an_pe = an_of pe ~path:"pe" ~ty:"fp" () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let steps = load_param b params 1 in
+  let chk = Builder.mov b (Ir.Imm 0) in
+  repeat b ~times:(Ir.Reg steps) (fun _step ->
+      (* force loop *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun a ->
+            let pa0 = Builder.add b (Ir.Imm pos.Memory.Layout.base) (Ir.Reg a) in
+            let xa = Builder.load b ~an:an_pos (Ir.Reg pa0) in
+            let nbase = Builder.mul b (Ir.Reg a) (Ir.Imm nbrs) in
+            let f = Builder.mov b (Ir.Imm 0) in
+            let e = Builder.mov b (Ir.Imm 0) in
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm nbrs)
+                (fun j ->
+                  let na = Builder.add b (Ir.Reg nbase) (Ir.Reg j) in
+                  let other =
+                    Builder.load b ~offset:(Ir.Reg na) ~an:an_nbr
+                      (Ir.Imm nbr.Memory.Layout.base)
+                  in
+                  let pb =
+                    Builder.add b (Ir.Imm pos.Memory.Layout.base)
+                      (Ir.Reg other)
+                  in
+                  let xb = Builder.load b ~an:an_pos (Ir.Reg pb) in
+                  let d0 = Builder.sub b (Ir.Reg xa) (Ir.Reg xb) in
+                  let d = Builder.libcall b Ir.Lc_abs [ Ir.Reg d0 ] in
+                  let d1 = Builder.add b (Ir.Reg d) (Ir.Imm 1) in
+                  let inv = Builder.div b (Ir.Imm 100000) (Ir.Reg d1) in
+                  let f' = Builder.add b (Ir.Reg f) (Ir.Reg inv) in
+                  Builder.mov_to b f (Ir.Reg f');
+                  let e' = Builder.add b (Ir.Reg e) (Ir.Reg d) in
+                  Builder.mov_to b e (Ir.Reg e'))
+            in
+            Builder.store b ~offset:(Ir.Reg a) ~an:an_force
+              (Ir.Imm force.Memory.Layout.base) (Ir.Reg f);
+            (* global potential energy: the carried dependence *)
+            let pev =
+              Builder.load b ~an:an_pe (Ir.Imm pe.Memory.Layout.base)
+            in
+            let pe' = Builder.add b (Ir.Reg pev) (Ir.Reg e) in
+            Builder.store b ~an:an_pe (Ir.Imm pe.Memory.Layout.base)
+              (Ir.Reg pe'))
+      in
+      (* integration: DOALL *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun a ->
+            let pa = Builder.add b (Ir.Imm pos.Memory.Layout.base) (Ir.Reg a) in
+            let x = Builder.load b ~an:an_pos_aff (Ir.Reg pa) in
+            let fv =
+              Builder.load b ~offset:(Ir.Reg a) ~an:an_force
+                (Ir.Imm force.Memory.Layout.base)
+            in
+            let dx = Builder.shr b (Ir.Reg fv) (Ir.Imm 6) in
+            let x1 = Builder.add b (Ir.Reg x) (Ir.Reg dx) in
+            let x2 = Builder.band b (Ir.Reg x1) (Ir.Imm 1023) in
+            Builder.store b ~an:an_pos_aff (Ir.Reg pa) (Ir.Reg x2))
+      in
+      ());
+  let pev = Builder.load b ~an:an_pe (Ir.Imm pe.Memory.Layout.base) in
+  let r = Builder.add b (Ir.Reg chk) (Ir.Reg pev) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn = match variant with Train -> 512 | Ref -> 1536 in
+    let steps = match variant with Train -> 1 | Ref -> 3 in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) steps;
+    let rng = mk_rng 0x188 in
+    fill mem pos.Memory.Layout.base natoms (fun _ -> rng 1024);
+    fill mem nbr.Memory.Layout.base (natoms * nbrs) (fun e ->
+        let a = e / nbrs in
+        (a + 1 + rng 31) mod natoms);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "188.ammp";
+    kind = Fp;
+    phases = 23;
+    build;
+    paper =
+      {
+        p_speedup = 12.5;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.99;
+        p_coverage_v1 = 0.602;
+        p_dominant = "Dependence Waiting";
+      };
+  }

@@ -1,0 +1,110 @@
+open Helix_ir
+open Workload
+
+(* 179.art model -- adaptive resonance theory neural network.
+
+   Training scans images; per image:
+   - F1 activation: loop over a smallish feature window (trip ~24: low
+     trip count is art's dominant overhead in Fig. 12, 10.5x) computing
+     activations with moderate work per neuron;
+   - F2 competition: loop over output neurons with a winner-take-all
+     (max) reduction -- HCCv1 cannot privatize it and serializes;
+   - weight update: DOALL pass over the winner's weight row. *)
+
+let f1 = 1024
+let f2 = 256
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let images = Memory.Layout.alloc layout "images" 16384 in
+  let weights = Memory.Layout.alloc layout "weights" (f2 * 64) in
+  let act = Memory.Layout.alloc layout "act" f2 in
+  let an_img = an_of images ~path:"img[]" ~ty:"fp" ~affine:0 () in
+  let an_w = an_of weights ~path:"w[]" ~ty:"fp" () in
+  let an_act = an_of act ~path:"act[]" ~ty:"fp" ~affine:0 () in
+  let b = Builder.create "main" in
+  let nimg = load_param b params 0 in
+  let score = Builder.mov b (Ir.Imm 0) in
+  let _ =
+    noncanonical_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg nimg) (fun img ->
+        let ibase0 = Builder.mul b (Ir.Reg img) (Ir.Imm 64) in
+        let ibase = Builder.band b (Ir.Reg ibase0) (Ir.Imm 16383) in
+        (* F2 competition: activation of each output neuron (beefy, ~64
+           multiply-accumulates each), plus winner-take-all max *)
+        let best = Builder.mov b (Ir.Imm min_int) in
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm f2)
+            (fun neuron ->
+              let wbase = Builder.mul b (Ir.Reg neuron) (Ir.Imm 64) in
+              let acc = Builder.mov b (Ir.Imm 0) in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 64)
+                  (fun k ->
+                    let ia = Builder.add b (Ir.Reg ibase) (Ir.Reg k) in
+                    let iv =
+                      Builder.load b ~offset:(Ir.Reg ia) ~an:an_img
+                        (Ir.Imm images.Memory.Layout.base)
+                    in
+                    let wa = Builder.add b (Ir.Reg wbase) (Ir.Reg k) in
+                    let wv =
+                      Builder.load b ~offset:(Ir.Reg wa) ~an:an_w
+                        (Ir.Imm weights.Memory.Layout.base)
+                    in
+                    let p = Builder.mul b (Ir.Reg iv) (Ir.Reg wv) in
+                    let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg p) in
+                    Builder.mov_to b acc (Ir.Reg acc'))
+              in
+              Builder.store b ~offset:(Ir.Reg neuron) ~an:an_act
+                (Ir.Imm act.Memory.Layout.base) (Ir.Reg acc);
+              let best' = Builder.imax b (Ir.Reg best) (Ir.Reg acc) in
+              Builder.mov_to b best (Ir.Reg best'))
+        in
+        (* vigilance scan: small low-trip loop over a feature window *)
+        let vig = Builder.mov b (Ir.Imm 0) in
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 24)
+            (fun k ->
+              let ia = Builder.add b (Ir.Reg ibase) (Ir.Reg k) in
+              let iv =
+                Builder.load b ~offset:(Ir.Reg ia) ~an:an_img
+                  (Ir.Imm images.Memory.Layout.base)
+              in
+              let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg iv ] in
+              let t0 = Builder.band b (Ir.Reg h) (Ir.Imm 63) in
+              let v' = Builder.add b (Ir.Reg vig) (Ir.Reg t0) in
+              Builder.mov_to b vig (Ir.Reg v'))
+        in
+        let s0 = Builder.add b (Ir.Reg best) (Ir.Reg vig) in
+        let s1 = Builder.add b (Ir.Reg score) (Ir.Reg s0) in
+        Builder.mov_to b score (Ir.Reg s1))
+  in
+  Builder.ret b (Some (Ir.Reg score));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let ni = match variant with Train -> 12 | Ref -> 48 in
+    Memory.store mem params.Memory.Layout.base ni;
+    let rng = mk_rng 0x179 in
+    fill mem images.Memory.Layout.base 16384 (fun _ -> rng 64);
+    fill mem weights.Memory.Layout.base (f2 * 64) (fun _ -> rng 32);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "179.art";
+    kind = Fp;
+    phases = 11;
+    build;
+    paper =
+      {
+        p_speedup = 10.5;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.99;
+        p_coverage_v1 = 0.841;
+        p_dominant = "Low Trip Count";
+      };
+  }

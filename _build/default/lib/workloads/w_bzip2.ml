@@ -1,0 +1,127 @@
+open Helix_ir
+open Workload
+
+(* 256.bzip2 model -- block-based compression.
+
+   - Phase B (hot, ~60%): per block, a rank-update loop with trip 24..40
+     (the low-trip-count column dominates in Fig. 12) whose iterations do
+     moderate private work plus a run-length state cell shared across
+     iterations (communication + wait/signal overhead, 12.0x).
+   - Phase C (~35%): per-block Huffman cost estimation with beefy
+     iterations, selected by every version. *)
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  (* one block object: bytes at [0..16384), ranks at [16384..32768).
+     Same allocation site, same access path, different element types --
+     only the data-type tier separates them (Figure 2). *)
+  let block = Memory.Layout.alloc layout "block" 32768 in
+  let rle = Memory.Layout.alloc layout "rle" 8 in
+  let costs = Memory.Layout.alloc layout "costs" 2048 in
+  let an_data = an_of block ~path:"block[]" ~ty:"byte" ~affine:0 () in
+  (* distinct affine offset: the flow tier must not merge the two halves,
+     so the data-type tier gets the disambiguation credit *)
+  let an_ranks = an_of block ~path:"block[]" ~ty:"int" ~affine:1 () in
+  let an_rle = an_of rle ~path:"rle" ~ty:"int" () in
+  let an_costs = an_of costs ~path:"costs[]" ~ty:"int" ~affine:0 () in
+  let b = Builder.create "main" in
+  let nblocks = load_param b params 0 in
+  let total = Builder.mov b (Ir.Imm 0) in
+  (* block loop: irregular control flow, models the compression driver *)
+  let _ =
+    noncanonical_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg nblocks) (fun blk ->
+        let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg blk ] in
+        let base0 = Builder.band b (Ir.Reg h) (Ir.Imm 8191) in
+        let len0 = Builder.band b (Ir.Reg h) (Ir.Imm 15) in
+        let len = Builder.add b (Ir.Reg len0) (Ir.Imm 24) in
+        let stop = Builder.add b (Ir.Reg base0) (Ir.Reg len) in
+        (* phase B: rank updates, trip 24..39 *)
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Reg base0) ~below:(Ir.Reg stop)
+            (fun i ->
+              let ia = Builder.band b (Ir.Reg i) (Ir.Imm 16383) in
+              let d =
+                Builder.load b ~offset:(Ir.Reg ia) ~an:an_data
+                  (Ir.Imm block.Memory.Layout.base)
+              in
+              let r0 = Builder.mul b (Ir.Reg d) (Ir.Imm 11) in
+              let r1 = Builder.libcall b Ir.Lc_hash [ Ir.Reg r0 ] in
+              let r2 = Builder.band b (Ir.Reg r1) (Ir.Imm 4095) in
+              let r3 = Builder.add b (Ir.Reg r2) (Ir.Reg d) in
+              Builder.store b ~offset:(Ir.Reg ia) ~an:an_ranks
+                (Ir.Imm (block.Memory.Layout.base + 16384)) (Ir.Reg r3);
+              (* run-length state: genuinely carried, branchless update *)
+              let s =
+                Builder.load b ~an:an_rle (Ir.Imm rle.Memory.Layout.base)
+              in
+              let same = Builder.eq b (Ir.Reg s) (Ir.Reg d) in
+              let inc = Builder.add b (Ir.Reg s) (Ir.Reg same) in
+              let nxt = Builder.bxor b (Ir.Reg inc) (Ir.Reg d) in
+              Builder.store b ~an:an_rle (Ir.Imm rle.Memory.Layout.base)
+                (Ir.Reg nxt))
+        in
+        (* phase C: Huffman cost estimation, beefy iterations *)
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 12)
+            (fun g ->
+              let acc = Builder.mov b (Ir.Imm 0) in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 64)
+                  (fun k ->
+                    let a0 = Builder.mul b (Ir.Reg g) (Ir.Imm 64) in
+                    let a1 = Builder.add b (Ir.Reg a0) (Ir.Reg k) in
+                    let a2 = Builder.add b (Ir.Reg a1) (Ir.Reg base0) in
+                    let a = Builder.band b (Ir.Reg a2) (Ir.Imm 16383) in
+                    let v =
+                      Builder.load b ~offset:(Ir.Reg a) ~an:an_ranks
+                        (Ir.Imm (block.Memory.Layout.base + 16384))
+                    in
+                    let l = Builder.libcall b Ir.Lc_log2 [ Ir.Reg v ] in
+                    let d = Builder.mul b (Ir.Reg l) (Ir.Imm 3) in
+                    let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg d) in
+                    Builder.mov_to b acc (Ir.Reg acc'))
+              in
+              let ca0 = Builder.mul b (Ir.Reg blk) (Ir.Imm 12) in
+              let ca1 = Builder.add b (Ir.Reg ca0) (Ir.Reg g) in
+              let ca = Builder.band b (Ir.Reg ca1) (Ir.Imm 2047) in
+              Builder.store b ~offset:(Ir.Reg ca) ~an:an_costs
+                (Ir.Imm costs.Memory.Layout.base) (Ir.Reg acc);
+              let t = Builder.add b (Ir.Reg total) (Ir.Reg acc) in
+              Builder.mov_to b total (Ir.Reg t))
+        in
+        ())
+  in
+  let s = Builder.load b ~an:an_rle (Ir.Imm rle.Memory.Layout.base) in
+  let r = Builder.add b (Ir.Reg total) (Ir.Reg s) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nb = match variant with Train -> 16 | Ref -> 64 in
+    Memory.store mem params.Memory.Layout.base nb;
+    let rng = mk_rng 0x256 in
+    let cur = ref 0 in
+    fill mem block.Memory.Layout.base 16384 (fun _ ->
+        if rng 3 = 0 then cur := rng 256;
+        !cur);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "256.bzip2";
+    kind = Int;
+    phases = 23;
+    build;
+    paper =
+      {
+        p_speedup = 12.0;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.723;
+        p_coverage_v1 = 0.721;
+        p_dominant = "Low Trip Count";
+      };
+  }

@@ -1,0 +1,120 @@
+open Helix_ir
+open Workload
+
+(* 183.equake model -- sparse matrix-vector product (earthquake sim).
+
+   The hot loop (smvp, ~85% of time) iterates over matrix rows: each
+   iteration scans the row's nonzeros through a column-index array --
+   strided, partially irregular private loads over a working set larger
+   than the L1, so memory stalls dominate the (small) overhead (Fig. 12:
+   87.7% memory, 10.1x).  The output vector is written at the row index
+   (iteration-affine): HCCv2/v3 prove independence and run it DOALL;
+   HCCv1's flow-insensitive analysis keeps a false self-dependence and
+   serializes the stores (FP jumps from 2.4x to 11x in Figure 1).
+   A second phase updates the displacement vectors (also DOALL). *)
+
+let nrows = 2048
+let nnz_per_row = 12
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let aval = Memory.Layout.alloc layout "A.val" (nrows * nnz_per_row) in
+  let acol = Memory.Layout.alloc layout "A.col" (nrows * nnz_per_row) in
+  let x = Memory.Layout.alloc layout "x" nrows in
+  let y = Memory.Layout.alloc layout "y" nrows in
+  let disp = Memory.Layout.alloc layout "disp" nrows in
+  let an_aval = an_of aval ~path:"A.val[]" ~ty:"fp" ~affine:0 () in
+  let an_acol = an_of acol ~path:"A.col[]" ~ty:"idx" ~affine:0 () in
+  let an_x = an_of x ~path:"x[]" ~ty:"fp" () in
+  let an_y = an_of y ~path:"y[]" ~ty:"fp" ~affine:0 () in
+  let an_disp = an_of disp ~path:"disp[]" ~ty:"fp" ~affine:0 () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let steps = load_param b params 1 in
+  let energy = Builder.mov b (Ir.Imm 0) in
+  repeat b ~times:(Ir.Reg steps) (fun _step ->
+      (* smvp: y[i] = sum_j A[i,j] * x[col[i,j]] *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun row ->
+            let base = Builder.mul b (Ir.Reg row) (Ir.Imm nnz_per_row) in
+            let acc = Builder.mov b (Ir.Imm 0) in
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Imm 0)
+                ~below:(Ir.Imm nnz_per_row) (fun j ->
+                  let e = Builder.add b (Ir.Reg base) (Ir.Reg j) in
+                  let v =
+                    Builder.load b ~offset:(Ir.Reg e) ~an:an_aval
+                      (Ir.Imm aval.Memory.Layout.base)
+                  in
+                  let col =
+                    Builder.load b ~offset:(Ir.Reg e) ~an:an_acol
+                      (Ir.Imm acol.Memory.Layout.base)
+                  in
+                  let xa =
+                    Builder.add b (Ir.Imm x.Memory.Layout.base) (Ir.Reg col)
+                  in
+                  let xv = Builder.load b ~an:an_x (Ir.Reg xa) in
+                  let p = Builder.mul b (Ir.Reg v) (Ir.Reg xv) in
+                  let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg p) in
+                  Builder.mov_to b acc (Ir.Reg acc'))
+            in
+            Builder.store b ~offset:(Ir.Reg row) ~an:an_y
+              (Ir.Imm y.Memory.Layout.base) (Ir.Reg acc);
+            let e' = Builder.add b (Ir.Reg energy) (Ir.Reg acc) in
+            Builder.mov_to b energy (Ir.Reg e'))
+      in
+      (* displacement update: pure DOALL vector work *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun i ->
+            let yv =
+              Builder.load b ~offset:(Ir.Reg i) ~an:an_y
+                (Ir.Imm y.Memory.Layout.base)
+            in
+            let dv =
+              Builder.load b ~offset:(Ir.Reg i) ~an:an_disp
+                (Ir.Imm disp.Memory.Layout.base)
+            in
+            let s = Builder.mul b (Ir.Reg yv) (Ir.Imm 3) in
+            let d1 = Builder.add b (Ir.Reg dv) (Ir.Reg s) in
+            let d2 = Builder.shr b (Ir.Reg d1) (Ir.Imm 1) in
+            Builder.store b ~offset:(Ir.Reg i) ~an:an_disp
+              (Ir.Imm disp.Memory.Layout.base) (Ir.Reg d2))
+      in
+      ());
+  Builder.ret b (Some (Ir.Reg energy));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn = match variant with Train -> 512 | Ref -> 2048 in
+    let steps = match variant with Train -> 1 | Ref -> 3 in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) steps;
+    let rng = mk_rng 0x183 in
+    fill mem aval.Memory.Layout.base (nrows * nnz_per_row) (fun _ -> rng 64);
+    (* banded sparsity: columns near the row, some far *)
+    fill mem acol.Memory.Layout.base (nrows * nnz_per_row) (fun e ->
+        let row = e / nnz_per_row in
+        let d = rng 48 - 24 in
+        (row + d + nrows) mod nn);
+    fill mem x.Memory.Layout.base nrows (fun _ -> rng 128);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "183.equake";
+    kind = Fp;
+    phases = 7;
+    build;
+    paper =
+      {
+        p_speedup = 10.1;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.99;
+        p_coverage_v1 = 0.771;
+        p_dominant = "Memory";
+      };
+  }

@@ -1,0 +1,147 @@
+open Helix_ir
+open Workload
+
+(* 164.gzip model -- LZ-style compression.
+
+   Structure calibrated to the paper:
+   - Phase B (hot, ~55% of time): token loop.  Each iteration hashes the
+     next input bytes, reads and updates the shared hash-chain heads, runs
+     a bounded match probe (a read-only library call), and appends to the
+     output buffer through a data-dependently advancing output cursor.
+     The cursor is an unpredictable carried register (demoted to a shared
+     cell) and the output stores cannot be proven iteration-disjoint, so
+     HCCv3 builds several sequential segments: this is the
+     dependence-waiting / wait-signal-heavy benchmark (3.0x in Fig. 12).
+   - Phase C (~40%): block checksum with beefy iterations (inner scan of
+     a 64-word block) and a global sum.  All compiler versions select it;
+     HCCv1 synchronizes the sum, HCCv2/v3 privatize it as a reduction.
+   Coverage: v3 ~98% (B+C), v1/v2 ~40% (C only). *)
+
+let hsize = 512
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let input = Memory.Layout.alloc layout "input" 16384 in
+  let head = Memory.Layout.alloc layout "head" hsize in
+  let outbuf = Memory.Layout.alloc layout "outbuf" 32768 in
+  let freq = Memory.Layout.alloc layout "freq" 8 in
+  let an_input ?(ofs = 0) () =
+    an_of input ~path:"input[]" ~ty:"byte" ~affine:ofs ()
+  in
+  let an_head = an_of head ~path:"head[]" ~ty:"int" () in
+  let an_out = an_of outbuf ~path:"out[]" ~ty:"byte" () in
+  let an_freq = an_of freq ~path:"freq[]" ~ty:"int" () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let m = load_param b params 1 in
+  let passes = load_param b params 2 in
+  let sum = Builder.mov b (Ir.Imm 0) in
+  let last_out = Builder.mov b (Ir.Imm 0) in
+  (* each pass compresses one input block (same working set, warm caches) *)
+  repeat b ~times:(Ir.Reg passes) (fun _pass ->
+  (* phase B: token loop *)
+  let out_pos = Builder.mov b (Ir.Imm 0) in
+  let nb = Builder.sub b (Ir.Reg n) (Ir.Imm 4) in
+  let _ =
+    Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg nb) (fun i ->
+        let d =
+          Builder.load b ~offset:(Ir.Reg i) ~an:(an_input ())
+            (Ir.Imm input.Memory.Layout.base)
+        in
+        let i1 = Builder.add b (Ir.Reg i) (Ir.Imm 1) in
+        let d2 =
+          Builder.load b ~offset:(Ir.Reg i1) ~an:(an_input ~ofs:1 ())
+            (Ir.Imm input.Memory.Layout.base)
+        in
+        let h0 = Builder.mul b (Ir.Reg d) (Ir.Imm 31) in
+        let h1 = Builder.add b (Ir.Reg h0) (Ir.Reg d2) in
+        let h = Builder.band b (Ir.Reg h1) (Ir.Imm (hsize - 1)) in
+        let slot = Builder.add b (Ir.Imm head.Memory.Layout.base) (Ir.Reg h) in
+        (* shared hash-chain head: read previous position, write ours *)
+        let prev = Builder.load b ~an:an_head (Ir.Reg slot) in
+        Builder.store b ~an:an_head (Ir.Reg slot) (Ir.Reg i);
+        (* bounded match probe at the previous position (read-only) *)
+        let paddr =
+          Builder.add b (Ir.Imm input.Memory.Layout.base)
+            (Ir.Reg (Builder.band b (Ir.Reg prev) (Ir.Imm 16383)))
+        in
+        let found =
+          Builder.libcall b Ir.Lc_memchr [ Ir.Reg paddr; Ir.Reg d; Ir.Imm 4 ]
+        in
+        let got = Builder.ge b (Ir.Reg found) (Ir.Imm 0) in
+        let len = Builder.mov b (Ir.Imm 1) in
+        Builder.if_then b (Ir.Reg got) (fun () ->
+            Builder.mov_to b len (Ir.Imm 3));
+        (* append token: the output cursor is data-dependent *)
+        let oaddr =
+          Builder.add b (Ir.Imm outbuf.Memory.Layout.base) (Ir.Reg out_pos)
+        in
+        Builder.store b ~an:an_out (Ir.Reg oaddr) (Ir.Reg d);
+        let np = Builder.add b (Ir.Reg out_pos) (Ir.Reg len) in
+        Builder.mov_to b out_pos (Ir.Reg np))
+  in
+  Builder.mov_to b last_out (Ir.Reg out_pos);
+  (* phase C: block checksums over the output, beefy iterations *)
+  let _ =
+    Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg m) (fun j ->
+        let base = Builder.shl b (Ir.Reg j) (Ir.Imm 6) in
+        let local = Builder.mov b (Ir.Imm 0) in
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 64)
+            (fun k ->
+              let a = Builder.add b (Ir.Reg base) (Ir.Reg k) in
+              let v =
+                Builder.load b ~offset:(Ir.Reg a) ~an:an_out
+                  (Ir.Imm outbuf.Memory.Layout.base)
+              in
+              let w = Builder.mul b (Ir.Reg v) (Ir.Reg k) in
+              let x = Builder.bxor b (Ir.Reg local) (Ir.Reg w) in
+              Builder.mov_to b local (Ir.Reg x))
+        in
+        let s = Builder.add b (Ir.Reg sum) (Ir.Reg local) in
+        Builder.mov_to b sum (Ir.Reg s);
+        let bk = Builder.band b (Ir.Reg local) (Ir.Imm 7) in
+        let baddr =
+          Builder.add b (Ir.Imm freq.Memory.Layout.base) (Ir.Reg bk)
+        in
+        let fv = Builder.load b ~an:an_freq (Ir.Reg baddr) in
+        let fv1 = Builder.add b (Ir.Reg fv) (Ir.Imm 1) in
+        Builder.store b ~an:an_freq (Ir.Reg baddr) (Ir.Reg fv1))
+  in
+  ());
+  let chk = Builder.add b (Ir.Reg sum) (Ir.Reg last_out) in
+  Builder.ret b (Some (Ir.Reg chk));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let n, np = match variant with Train -> (500, 1) | Ref -> (900, 3) in
+    Memory.store mem params.Memory.Layout.base n;
+    Memory.store mem (params.Memory.Layout.base + 1) (n / 20);
+    Memory.store mem (params.Memory.Layout.base + 2) np;
+    let rng = mk_rng 0x6421 in
+    (* compressible-ish input: runs of repeated bytes *)
+    let cur = ref 0 in
+    fill mem input.Memory.Layout.base n (fun _ ->
+        if rng 4 = 0 then cur := rng 256;
+        !cur);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "164.gzip";
+    kind = Int;
+    phases = 12;
+    build;
+    paper =
+      {
+        p_speedup = 3.0;
+        p_coverage_v3 = 0.982;
+        p_coverage_v2 = 0.423;
+        p_coverage_v1 = 0.423;
+        p_dominant = "Dependence Waiting";
+      };
+  }

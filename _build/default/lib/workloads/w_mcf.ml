@@ -1,0 +1,155 @@
+open Helix_ir
+open Workload
+
+(* 181.mcf model -- network simplex arc scanning.
+
+   - Phase B (hot, ~55%): the pricing loop over arcs.  Each iteration
+     loads arc data (iteration-indexed, disambiguated by the flow-aware
+     tiers), computes the reduced cost, and on violating arcs updates the
+     shared node-potential array at data-dependent endpoints plus a
+     shared violation counter: two distinct shared structures yield two
+     sequential segments with long bodies -- dependence waiting and
+     communication dominate (8.7x in Fig. 12).
+   - Phase C (~40%): flow accumulation with beefy iterations (all
+     versions; v1 synchronizes the accumulator). *)
+
+let nnodes = 96
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let tail = Memory.Layout.alloc layout "arc.tail" 8192 in
+  let head = Memory.Layout.alloc layout "arc.head" 8192 in
+  let acost = Memory.Layout.alloc layout "arc.cost" 8192 in
+  let potential = Memory.Layout.alloc layout "potential" nnodes in
+
+  let flow = Memory.Layout.alloc layout "flow" 8192 in
+  let an_tail = an_of tail ~path:"arc.tail" ~ty:"int" ~affine:0 () in
+  let an_head = an_of head ~path:"arc.head" ~ty:"int" ~affine:0 () in
+  let an_acost = an_of acost ~path:"arc.cost" ~ty:"int" ~affine:0 () in
+  let an_pot = an_of potential ~path:"node.potential" ~ty:"int" () in
+
+  let an_flow = an_of flow ~path:"flow[]" ~ty:"int" ~affine:0 () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let passes = load_param b params 1 in
+  let total = Builder.mov b (Ir.Imm 0) in
+  let nviol = Builder.mov b (Ir.Imm 0) in
+  repeat b ~times:(Ir.Reg passes) (fun _pass ->
+      (* phase B: arc pricing *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun arc ->
+            let t0 =
+              Builder.load b ~offset:(Ir.Reg arc) ~an:an_tail
+                (Ir.Imm tail.Memory.Layout.base)
+            in
+            let h0 =
+              Builder.load b ~offset:(Ir.Reg arc) ~an:an_head
+                (Ir.Imm head.Memory.Layout.base)
+            in
+            let c =
+              Builder.load b ~offset:(Ir.Reg arc) ~an:an_acost
+                (Ir.Imm acost.Memory.Layout.base)
+            in
+            (* private pricing arithmetic sizes the iteration (~60 instrs) *)
+            let w0 = Builder.mul b (Ir.Reg c) (Ir.Imm 5) in
+            let w1 = Builder.libcall b Ir.Lc_hash [ Ir.Reg w0 ] in
+            let w2 = Builder.band b (Ir.Reg w1) (Ir.Imm 255) in
+            let w3 = Builder.add b (Ir.Reg w2) (Ir.Reg c) in
+            let w4 = Builder.libcall b Ir.Lc_isqrt [ Ir.Reg w3 ] in
+            let u0 = Builder.mul b (Ir.Reg w4) (Ir.Reg w2) in
+            let u1 = Builder.libcall b Ir.Lc_hash [ Ir.Reg u0 ] in
+            let u2 = Builder.band b (Ir.Reg u1) (Ir.Imm 127) in
+            let u3 = Builder.libcall b Ir.Lc_isqrt [ Ir.Reg u2 ] in
+            let w4 = Builder.add b (Ir.Reg w4) (Ir.Reg u3) in
+            (* longest-path relabeling arithmetic: beefy private work *)
+            let q0 = Builder.mul b (Ir.Reg w4) (Ir.Imm 7) in
+            let q1 = Builder.libcall b Ir.Lc_hash [ Ir.Reg q0 ] in
+            let q2 = Builder.band b (Ir.Reg q1) (Ir.Imm 511) in
+            let q3 = Builder.libcall b Ir.Lc_isqrt [ Ir.Reg q2 ] in
+            let q4 = Builder.mul b (Ir.Reg q3) (Ir.Reg w2) in
+            let q5 = Builder.libcall b Ir.Lc_hash [ Ir.Reg q4 ] in
+            let q6 = Builder.band b (Ir.Reg q5) (Ir.Imm 63) in
+            let w4 = Builder.add b (Ir.Reg w4) (Ir.Reg q6) in
+            (* reduced cost needs both endpoint potentials (shared) *)
+            let ta =
+              Builder.add b (Ir.Imm potential.Memory.Layout.base) (Ir.Reg t0)
+            in
+            let pt = Builder.load b ~an:an_pot (Ir.Reg ta) in
+            let ha =
+              Builder.add b (Ir.Imm potential.Memory.Layout.base) (Ir.Reg h0)
+            in
+            let ph = Builder.load b ~an:an_pot (Ir.Reg ha) in
+            let red0 = Builder.sub b (Ir.Reg pt) (Ir.Reg ph) in
+            let red = Builder.add b (Ir.Reg red0) (Ir.Reg w4) in
+            (* branchless pivot: raise the tail potential by 0 or 1;
+               keeping every access in one block gives a tight (not
+               loop-wide) segment bracket.  Violations accumulate in a
+               register (a reduction HCCv2/v3 privatize). *)
+            let neg = Builder.lt b (Ir.Reg red) (Ir.Imm 120) in
+            let p1 = Builder.add b (Ir.Reg pt) (Ir.Reg neg) in
+            Builder.store b ~an:an_pot (Ir.Reg ta) (Ir.Reg p1);
+            let nv = Builder.add b (Ir.Reg nviol) (Ir.Reg neg) in
+            Builder.mov_to b nviol (Ir.Reg nv);
+            let t = Builder.add b (Ir.Reg total) (Ir.Reg red) in
+            Builder.mov_to b total (Ir.Reg t))
+      in
+      (* phase C: flow accumulation, beefy iterations *)
+      let m = Builder.shr b (Ir.Reg n) (Ir.Imm 3) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg m) (fun j ->
+            let acc = Builder.mov b (Ir.Imm 0) in
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 64)
+                (fun k ->
+                  let a0 = Builder.shl b (Ir.Reg j) (Ir.Imm 3) in
+                  let a1 = Builder.add b (Ir.Reg a0) (Ir.Reg k) in
+                  let a = Builder.band b (Ir.Reg a1) (Ir.Imm 8191) in
+                  let v =
+                    Builder.load b ~offset:(Ir.Reg a) ~an:an_acost
+                      (Ir.Imm acost.Memory.Layout.base)
+                  in
+                  let d = Builder.mul b (Ir.Reg v) (Ir.Reg k) in
+                  let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg d) in
+                  Builder.mov_to b acc (Ir.Reg acc'))
+            in
+            Builder.store b ~offset:(Ir.Reg j) ~an:an_flow
+              (Ir.Imm flow.Memory.Layout.base) (Ir.Reg acc);
+            let t = Builder.add b (Ir.Reg total) (Ir.Reg acc) in
+            Builder.mov_to b total (Ir.Reg t))
+      in
+      ());
+  let r = Builder.add b (Ir.Reg total) (Ir.Reg nviol) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn = match variant with Train -> 500 | Ref -> 1800 in
+    let passes = match variant with Train -> 1 | Ref -> 3 in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) passes;
+    let rng = mk_rng 0x181 in
+    fill mem tail.Memory.Layout.base 8192 (fun _ -> rng nnodes);
+    fill mem head.Memory.Layout.base 8192 (fun _ -> rng nnodes);
+    fill mem acost.Memory.Layout.base 8192 (fun _ -> rng 256);
+    fill mem potential.Memory.Layout.base nnodes (fun _ -> 100 + rng 64);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "181.mcf";
+    kind = Int;
+    phases = 19;
+    build;
+    paper =
+      {
+        p_speedup = 8.7;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.653;
+        p_coverage_v1 = 0.653;
+        p_dominant = "Dependence Waiting";
+      };
+  }

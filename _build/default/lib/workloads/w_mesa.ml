@@ -1,0 +1,150 @@
+open Helix_ir
+open Workload
+
+(* 177.mesa model -- software rasterization.
+
+   The hot loop iterates over scanlines.  Iteration lengths vary widely
+   (span widths of 8..64 pixels from the edge tables), which makes
+   iteration imbalance the dominant overhead exactly as in Fig. 12
+   (58.4%, 15.1x -- the best-scaling benchmark).  Every pixel write lands
+   in the scanline's own framebuffer row (iteration-affine), so HCCv2/v3
+   run it DOALL; HCCv1 keeps the false output dependence.  A small
+   gamma-table pass follows. *)
+
+let width = 64
+let height = 512
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let edges = Memory.Layout.alloc layout "edges" (2 * height) in
+  let tex = Memory.Layout.alloc layout "tex" 1024 in
+  let fb = Memory.Layout.alloc layout "fb" (width * height) in
+  let gamma = Memory.Layout.alloc layout "gamma" 1024 in
+  let clipc = Memory.Layout.alloc layout "clipped" 8 in
+  let an_edges = an_of edges ~path:"edges[]" ~ty:"int" ~affine:0 () in
+  let an_tex = an_of tex ~path:"tex[]" ~ty:"rgba" () in
+  let an_fb = an_of fb ~path:"fb[row]" ~ty:"rgba" ~affine:0 () in
+  let an_gamma = an_of gamma ~path:"gamma[]" ~ty:"rgba" ~affine:0 () in
+  let an_clip = an_of clipc ~path:"clipped" ~ty:"int" () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let frames = load_param b params 1 in
+  let chk = Builder.mov b (Ir.Imm 0) in
+  repeat b ~times:(Ir.Reg frames) (fun _f ->
+      (* scanline rasterization: variable-width spans *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun row ->
+            let e0 = Builder.shl b (Ir.Reg row) (Ir.Imm 1) in
+            let xstart =
+              Builder.load b ~offset:(Ir.Reg e0) ~an:an_edges
+                (Ir.Imm edges.Memory.Layout.base)
+            in
+            let e1 = Builder.add b (Ir.Reg e0) (Ir.Imm 1) in
+            let xend =
+              Builder.load b ~offset:(Ir.Reg e1) ~an:an_edges
+                (Ir.Imm edges.Memory.Layout.base)
+            in
+            let rowbase = Builder.mul b (Ir.Reg row) (Ir.Imm width) in
+            (* pixel span: 8..64 pixels, textured *)
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Reg xstart) ~below:(Ir.Reg xend)
+                (fun px ->
+                  let t0 = Builder.mul b (Ir.Reg px) (Ir.Imm 17) in
+                  let t1 = Builder.add b (Ir.Reg t0) (Ir.Reg row) in
+                  let t = Builder.band b (Ir.Reg t1) (Ir.Imm 1023) in
+                  let texel =
+                    Builder.load b ~offset:(Ir.Reg t) ~an:an_tex
+                      (Ir.Imm tex.Memory.Layout.base)
+                  in
+                  let shade = Builder.mul b (Ir.Reg texel) (Ir.Imm 3) in
+                  let lit = Builder.add b (Ir.Reg shade) (Ir.Reg px) in
+                  let fa = Builder.add b (Ir.Reg rowbase) (Ir.Reg px) in
+                  Builder.store b ~offset:(Ir.Reg fa) ~an:an_fb
+                    (Ir.Imm fb.Memory.Layout.base) (Ir.Reg lit))
+            in
+            ())
+      in
+      (* vertex transform: beefy iterations plus a clipped-vertex
+         counter cell; coarse enough that even HCCv1 profits *)
+      let nv = Builder.shr b (Ir.Reg n) (Ir.Imm 1) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg nv) (fun v ->
+            let acc = Builder.mov b (Ir.Imm 0) in
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 48)
+                (fun k ->
+                  let a0 = Builder.mul b (Ir.Reg v) (Ir.Imm 5) in
+                  let a1 = Builder.add b (Ir.Reg a0) (Ir.Reg k) in
+                  let a = Builder.band b (Ir.Reg a1) (Ir.Imm 1023) in
+                  let t =
+                    Builder.load b ~offset:(Ir.Reg a) ~an:an_tex
+                      (Ir.Imm tex.Memory.Layout.base)
+                  in
+                  let d = Builder.mul b (Ir.Reg t) (Ir.Reg k) in
+                  let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg d) in
+                  Builder.mov_to b acc (Ir.Reg acc'))
+            in
+            let clip = Builder.band b (Ir.Reg acc) (Ir.Imm 1) in
+            let cv =
+              Builder.load b ~an:an_clip (Ir.Imm clipc.Memory.Layout.base)
+            in
+            let cv1 = Builder.add b (Ir.Reg cv) (Ir.Reg clip) in
+            Builder.store b ~an:an_clip (Ir.Imm clipc.Memory.Layout.base)
+              (Ir.Reg cv1))
+      in
+      (* gamma table regeneration: small DOALL pass *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 1024)
+          (fun i ->
+            let g0 = Builder.mul b (Ir.Reg i) (Ir.Reg i) in
+            let g1 = Builder.shr b (Ir.Reg g0) (Ir.Imm 2) in
+            let g2 = Builder.band b (Ir.Reg g1) (Ir.Imm 255) in
+            Builder.store b ~offset:(Ir.Reg i) ~an:an_gamma
+              (Ir.Imm gamma.Memory.Layout.base) (Ir.Reg g2))
+      in
+      ());
+  let probe =
+    Builder.load b
+      ~offset:(Ir.Imm (width + 5))
+      ~an:an_fb (Ir.Imm fb.Memory.Layout.base)
+  in
+  let r = Builder.add b (Ir.Reg chk) (Ir.Reg probe) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn = match variant with Train -> 128 | Ref -> 512 in
+    let frames = match variant with Train -> 1 | Ref -> 3 in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) frames;
+    let rng = mk_rng 0x177 in
+    for row = 0 to height - 1 do
+      let s = rng 8 in
+      let w = 8 + rng 57 in
+      Memory.store mem (edges.Memory.Layout.base + (2 * row)) s;
+      Memory.store mem
+        (edges.Memory.Layout.base + (2 * row) + 1)
+        (min width (s + w))
+    done;
+    fill mem tex.Memory.Layout.base 1024 (fun _ -> rng 256);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "177.mesa";
+    kind = Fp;
+    phases = 8;
+    build;
+    paper =
+      {
+        p_speedup = 15.1;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.99;
+        p_coverage_v1 = 0.643;
+        p_dominant = "Iteration Imbalance";
+      };
+  }

@@ -1,0 +1,157 @@
+open Helix_ir
+open Workload
+
+(* 197.parser model -- dictionary lookups over a linked word database.
+
+   - Phase B (hot, ~40%): word loop.  Each word hashes into a 1024-bucket
+     open-addressed table; a bounded probe walks up to three slots reading
+     key fields and bumping per-slot counters.  The counter table is a
+     large, genuinely shared structure (thousands of distinct hot words):
+     this gives parser the largest ring-cache working set of the suite,
+     the benchmark the paper singles out in the node-memory sensitivity
+     study (Figure 11d).  Keys and counters live at distinct access paths
+     ("slot.key" vs "slot.count"), which only the path-based analysis
+     tier can tell apart (Figure 2).
+   - A second small shared structure (parse statistics) adds more
+     segments: wait/signal overhead and dependence waiting dominate
+     (7.3x in Fig. 12).
+   - Phase C (~55%): sentence-scoring loop with beefy iterations,
+     selected by every compiler version. *)
+
+let tsize = 1024
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let words = Memory.Layout.alloc layout "words" 8192 in
+  (* one dictionary object: keys at [0..tsize), counters at
+     [tsize..2*tsize).  Same allocation site, distinct access paths --
+     only the path-based analysis tier separates them (Figure 2). *)
+  let dict = Memory.Layout.alloc layout "dict" (2 * tsize) in
+  let stats = Memory.Layout.alloc layout "stats" 8 in
+  let score = Memory.Layout.alloc layout "score" 4096 in
+  let an_words = an_of words ~path:"words[]" ~ty:"int" ~affine:0 () in
+  let an_keys = an_of dict ~path:"slot.key" ~ty:"int" () in
+  let an_counts = an_of dict ~path:"slot.count" ~ty:"int" () in
+  let an_stats = an_of stats ~path:"stats" ~ty:"int" () in
+  let an_score = an_of score ~path:"score[]" ~ty:"int" ~affine:0 () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let passes = load_param b params 1 in
+  let total = Builder.mov b (Ir.Imm 0) in
+  repeat b ~times:(Ir.Reg passes) (fun _pass ->
+      (* phase B: dictionary probes *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun i ->
+            let w =
+              Builder.load b ~offset:(Ir.Reg i) ~an:an_words
+                (Ir.Imm words.Memory.Layout.base)
+            in
+            (* morphology: private stemming arithmetic per word *)
+            let m0 = Builder.mul b (Ir.Reg w) (Ir.Imm 131) in
+            let m1 = Builder.libcall b Ir.Lc_hash [ Ir.Reg m0 ] in
+            let m2 = Builder.band b (Ir.Reg m1) (Ir.Imm 255) in
+            let m3 = Builder.add b (Ir.Reg m2) (Ir.Reg w) in
+            let m4 = Builder.libcall b Ir.Lc_isqrt [ Ir.Reg m3 ] in
+            let w = Builder.add b (Ir.Reg w) (Ir.Reg m4) in
+            let h0 = Builder.libcall b Ir.Lc_hash [ Ir.Reg w ] in
+            let h = Builder.band b (Ir.Reg h0) (Ir.Imm (tsize - 1)) in
+            (* bounded probe: three slots, branchless counter updates so
+               the dictionary segment stays tight (one block) while
+               touching many distinct hot words -- parser's ring working
+               set is the largest of the suite (Figure 11d) *)
+            let hit = Builder.mov b (Ir.Imm 0) in
+            let probe d =
+              let s0 = Builder.add b (Ir.Reg h) (Ir.Imm d) in
+              let s = Builder.band b (Ir.Reg s0) (Ir.Imm (tsize - 1)) in
+              let kaddr =
+                Builder.add b (Ir.Imm dict.Memory.Layout.base) (Ir.Reg s)
+              in
+              let k = Builder.load b ~an:an_keys (Ir.Reg kaddr) in
+              let m = Builder.eq b (Ir.Reg k) (Ir.Reg w) in
+              let caddr =
+                Builder.add b
+                  (Ir.Imm (dict.Memory.Layout.base + tsize))
+                  (Ir.Reg s)
+              in
+              let c = Builder.load b ~an:an_counts (Ir.Reg caddr) in
+              let c1 = Builder.add b (Ir.Reg c) (Ir.Reg m) in
+              Builder.store b ~an:an_counts (Ir.Reg caddr) (Ir.Reg c1);
+              let h' = Builder.bor b (Ir.Reg hit) (Ir.Reg m) in
+              Builder.mov_to b hit (Ir.Reg h')
+            in
+            probe 0;
+            (* parse statistics: a second, tiny shared structure *)
+            let sa =
+              Builder.add b (Ir.Imm stats.Memory.Layout.base) (Ir.Reg hit)
+            in
+            let sv = Builder.load b ~an:an_stats (Ir.Reg sa) in
+            let sv1 = Builder.add b (Ir.Reg sv) (Ir.Imm 1) in
+            Builder.store b ~an:an_stats (Ir.Reg sa) (Ir.Reg sv1))
+      in
+      (* phase C: sentence scoring, beefy iterations *)
+      let m = Builder.shr b (Ir.Reg n) (Ir.Imm 3) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg m) (fun j ->
+            let base = Builder.shl b (Ir.Reg j) (Ir.Imm 3) in
+            let acc = Builder.mov b (Ir.Imm 0) in
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 64)
+                (fun k ->
+                  let a0 = Builder.add b (Ir.Reg base) (Ir.Reg k) in
+                  let a = Builder.band b (Ir.Reg a0) (Ir.Imm 8191) in
+                  let w =
+                    Builder.load b ~offset:(Ir.Reg a) ~an:an_words
+                      (Ir.Imm words.Memory.Layout.base)
+                  in
+                  let d = Builder.mul b (Ir.Reg w) (Ir.Reg k) in
+                  let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg d) in
+                  Builder.mov_to b acc (Ir.Reg acc'))
+            in
+            Builder.store b ~offset:(Ir.Reg j) ~an:an_score
+              (Ir.Imm score.Memory.Layout.base) (Ir.Reg acc);
+            let t = Builder.add b (Ir.Reg total) (Ir.Reg acc) in
+            Builder.mov_to b total (Ir.Reg t))
+      in
+      ());
+  let s0 =
+    Builder.load b ~an:an_stats (Ir.Imm stats.Memory.Layout.base)
+  in
+  let r = Builder.add b (Ir.Reg total) (Ir.Reg s0) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn = match variant with Train -> 400 | Ref -> 1400 in
+    let passes = match variant with Train -> 1 | Ref -> 3 in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) passes;
+    let rng = mk_rng 0x197 in
+    (* word stream with a Zipf-ish skew: the hot dictionary set sits just
+       at the default 1KB node-array capacity (Figure 11d) *)
+    fill mem words.Memory.Layout.base 8192 (fun _ ->
+        let r = rng 1000 in
+        if r < 500 then rng 40 else rng 130);
+    (* dictionary: slot keys that words sometimes match *)
+    fill mem dict.Memory.Layout.base tsize (fun i ->
+        if i land 1 = 0 then i land 600 else rng 600);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "197.parser";
+    kind = Int;
+    phases = 19;
+    build;
+    paper =
+      {
+        p_speedup = 7.3;
+        p_coverage_v3 = 0.987;
+        p_coverage_v2 = 0.602;
+        p_coverage_v1 = 0.602;
+        p_dominant = "Dependence Waiting";
+      };
+  }

@@ -1,0 +1,142 @@
+open Helix_ir
+open Workload
+
+(* 300.twolf model -- standard-cell placement swap evaluation.
+
+   - Phase B (hot, ~45%): for every proposed swap, a small inner loop
+     (trip 8..16) walks the nets affected by the two cells, gathering
+     scattered placement data (irregular private accesses over a working
+     set larger than the L1: the memory-stall column of Fig. 12) and
+     accumulating a delta cost; an accept test conditionally updates the
+     shared total-cost cell (Figure-5 diamond).
+   - Phase C (~50%): window-density recomputation with beefy iterations,
+     selected by every version.
+   Paper: 7.6x, overheads dominated by low trip count + memory. *)
+
+let ncells = 4096
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let cellx = Memory.Layout.alloc layout "cellx" ncells in
+  let celly = Memory.Layout.alloc layout "celly" ncells in
+  let nets = Memory.Layout.alloc layout "netlist" 8192 in
+  let cost = Memory.Layout.alloc layout "cost" 8 in
+  let dens = Memory.Layout.alloc layout "dens" 1024 in
+  let an_cellx = an_of cellx ~path:"cell.x" ~ty:"int" () in
+  let an_celly = an_of celly ~path:"cell.y" ~ty:"int" () in
+  let an_nets = an_of nets ~path:"nets[]" ~ty:"int" ~affine:0 () in
+  let an_cost = an_of cost ~path:"totcost" ~ty:"int" () in
+  let an_dens = an_of dens ~path:"dens[]" ~ty:"int" ~affine:0 () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let passes = load_param b params 1 in
+  let total = Builder.mov b (Ir.Imm 0) in
+  repeat b ~times:(Ir.Reg passes) (fun _pass ->
+      (* phase B: swap evaluations; irregular outer, small hot inner *)
+      let _ =
+        noncanonical_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun move ->
+            let seed0 = Builder.libcall b Ir.Lc_hash [ Ir.Reg move ] in
+            let start = Builder.band b (Ir.Reg seed0) (Ir.Imm 8191) in
+            let cnt0 = Builder.band b (Ir.Reg seed0) (Ir.Imm 7) in
+            let cnt = Builder.add b (Ir.Reg cnt0) (Ir.Imm 8) in
+            let stop = Builder.add b (Ir.Reg start) (Ir.Reg cnt) in
+            let delta = Builder.mov b (Ir.Imm 0) in
+            (* the small hot loop: trip 8..15, scattered private loads *)
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Reg start) ~below:(Ir.Reg stop)
+                (fun j ->
+                  let ja = Builder.band b (Ir.Reg j) (Ir.Imm 8191) in
+                  let cell0 =
+                    Builder.load b ~offset:(Ir.Reg ja) ~an:an_nets
+                      (Ir.Imm nets.Memory.Layout.base)
+                  in
+                  let cell = Builder.band b (Ir.Reg cell0) (Ir.Imm (ncells - 1)) in
+                  let xa =
+                    Builder.add b (Ir.Imm cellx.Memory.Layout.base) (Ir.Reg cell)
+                  in
+                  let x = Builder.load b ~an:an_cellx (Ir.Reg xa) in
+                  let ya =
+                    Builder.add b (Ir.Imm celly.Memory.Layout.base) (Ir.Reg cell)
+                  in
+                  let y = Builder.load b ~an:an_celly (Ir.Reg ya) in
+                  let dx = Builder.sub b (Ir.Reg x) (Ir.Reg y) in
+                  let adx = Builder.libcall b Ir.Lc_abs [ Ir.Reg dx ] in
+                  let d = Builder.add b (Ir.Reg delta) (Ir.Reg adx) in
+                  Builder.mov_to b delta (Ir.Reg d);
+                  (* accept test on a shared cost cell: Figure-5 diamond *)
+                  let low = Builder.band b (Ir.Reg adx) (Ir.Imm 15) in
+                  let good = Builder.eq b (Ir.Reg low) (Ir.Imm 0) in
+                  Builder.if_then b (Ir.Reg good) (fun () ->
+                      let c =
+                        Builder.load b ~an:an_cost
+                          (Ir.Imm cost.Memory.Layout.base)
+                      in
+                      let c1 = Builder.add b (Ir.Reg c) (Ir.Imm 1) in
+                      Builder.store b ~an:an_cost
+                        (Ir.Imm cost.Memory.Layout.base) (Ir.Reg c1)))
+            in
+            let t = Builder.add b (Ir.Reg total) (Ir.Reg delta) in
+            Builder.mov_to b total (Ir.Reg t))
+      in
+      (* phase C: window densities, beefy iterations *)
+      let wins = Builder.shr b (Ir.Reg n) (Ir.Imm 1) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg wins)
+          (fun w ->
+            let acc = Builder.mov b (Ir.Imm 0) in
+            let _ =
+              Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 72)
+                (fun k ->
+                  let a0 = Builder.mul b (Ir.Reg w) (Ir.Imm 7) in
+                  let a1 = Builder.add b (Ir.Reg a0) (Ir.Reg k) in
+                  let a = Builder.band b (Ir.Reg a1) (Ir.Imm 8191) in
+                  let v =
+                    Builder.load b ~offset:(Ir.Reg a) ~an:an_nets
+                      (Ir.Imm nets.Memory.Layout.base)
+                  in
+                  let d = Builder.mul b (Ir.Reg v) (Ir.Imm 3) in
+                  let acc' = Builder.add b (Ir.Reg acc) (Ir.Reg d) in
+                  Builder.mov_to b acc (Ir.Reg acc'))
+            in
+            let wa = Builder.band b (Ir.Reg w) (Ir.Imm 1023) in
+            Builder.store b ~offset:(Ir.Reg wa) ~an:an_dens
+              (Ir.Imm dens.Memory.Layout.base) (Ir.Reg acc);
+            let t = Builder.add b (Ir.Reg total) (Ir.Reg acc) in
+            Builder.mov_to b total (Ir.Reg t))
+      in
+      ());
+  let c0 = Builder.load b ~an:an_cost (Ir.Imm cost.Memory.Layout.base) in
+  let r = Builder.add b (Ir.Reg total) (Ir.Reg c0) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn = match variant with Train -> 48 | Ref -> 144 in
+    let passes = match variant with Train -> 1 | Ref -> 4 in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) passes;
+    let rng = mk_rng 0x300 in
+    fill mem cellx.Memory.Layout.base ncells (fun _ -> rng 512);
+    fill mem celly.Memory.Layout.base ncells (fun _ -> rng 512);
+    fill mem nets.Memory.Layout.base 8192 (fun _ -> rng ncells);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "300.twolf";
+    kind = Int;
+    phases = 18;
+    build;
+    paper =
+      {
+        p_speedup = 7.6;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.624;
+        p_coverage_v1 = 0.624;
+        p_dominant = "Low Trip Count";
+      };
+  }

@@ -1,0 +1,188 @@
+open Helix_ir
+open Workload
+
+(* 175.vpr model -- FPGA placement cost evaluation.
+
+   - Phase B (hot, ~45%): for every net, a small inner loop over its 8-16
+     pins computes the bounding box (min/max reductions).  The inner loop
+     is the loop HELIX-RC parallelizes: its low trip count is the dominant
+     overhead (74% in Fig. 12; 6.1x).  The outer net loop carries a
+     sequential perturbation seed whose uses span the body, so its single
+     segment is loop-wide and no version profits from it.
+   - Phase B also contains the paper's Figure-5 diamond: the new cost
+     updates a shared best-cost cell only on improving paths.
+   - Phase C (~55%): cost accumulation with beefy per-net iterations;
+     selected by every version (v1 synchronizes the accumulator). *)
+
+let build () : spec =
+  let layout = Memory.Layout.create () in
+  let params = param_region layout in
+  let nets = 512 in
+  let max_pins = 16 in
+  let pinx = Memory.Layout.alloc layout "pinx" (nets * max_pins) in
+  let piny = Memory.Layout.alloc layout "piny" (nets * max_pins) in
+  let netstart = Memory.Layout.alloc layout "netstart" (nets + 1) in
+  let cost = Memory.Layout.alloc layout "cost" nets in
+  let best = Memory.Layout.alloc layout "best" 8 in
+  let bucket = Memory.Layout.alloc layout "bucket" 8 in
+  let an_pinx = an_of pinx ~path:"pinx[]" ~ty:"int" ~affine:0 () in
+  let an_piny = an_of piny ~path:"piny[]" ~ty:"int" ~affine:0 () in
+  let an_ns ?(ofs = 0) () =
+    an_of netstart ~path:"netstart[]" ~ty:"int" ~affine:ofs ()
+  in
+  let an_cost = an_of cost ~path:"cost[]" ~ty:"int" ~affine:0 () in
+  let an_best = an_of best ~path:"best" ~ty:"int" () in
+  let an_bucket = an_of bucket ~path:"bucket[]" ~ty:"int" () in
+  let b = Builder.create "main" in
+  let n = load_param b params 0 in
+  let passes = load_param b params 1 in
+  let seed = Builder.mov b (Ir.Imm 7) in
+  let total = Builder.mov b (Ir.Imm 0) in
+  (* placement passes: irregular outer loops, warm working set *)
+  repeat b ~times:(Ir.Reg passes) (fun _pass ->
+  (* phase B: bounding boxes per net; the outer net loop has irregular
+     control flow (two latches) and is not parallelizable -- HELIX-RC
+     targets the small pin loop inside *)
+  let _ =
+    noncanonical_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun net ->
+        (* sequential perturbation chain: uses span the body *)
+        let s1 = Builder.libcall b Ir.Lc_hash [ Ir.Reg seed ] in
+        Builder.mov_to b seed (Ir.Reg s1);
+        let first =
+          Builder.load b ~offset:(Ir.Reg net) ~an:(an_ns ())
+            (Ir.Imm netstart.Memory.Layout.base)
+        in
+        let net1 = Builder.add b (Ir.Reg net) (Ir.Imm 1) in
+        let last =
+          Builder.load b ~offset:(Ir.Reg net1) ~an:(an_ns ~ofs:1 ())
+            (Ir.Imm netstart.Memory.Layout.base)
+        in
+        let minx = Builder.mov b (Ir.Imm 1000000) in
+        let maxx = Builder.mov b (Ir.Imm (-1000000)) in
+        let miny = Builder.mov b (Ir.Imm 1000000) in
+        let maxy = Builder.mov b (Ir.Imm (-1000000)) in
+        (* the small hot loop HELIX-RC targets: trip 8..16, ~25-cycle
+           iterations (Figure 4a) *)
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Reg first) ~below:(Ir.Reg last)
+            (fun p ->
+              let x =
+                Builder.load b ~offset:(Ir.Reg p) ~an:an_pinx
+                  (Ir.Imm pinx.Memory.Layout.base)
+              in
+              let y =
+                Builder.load b ~offset:(Ir.Reg p) ~an:an_piny
+                  (Ir.Imm piny.Memory.Layout.base)
+              in
+              (* timing-model cost: criticality-weighted coordinates *)
+              let w0 = Builder.mul b (Ir.Reg x) (Ir.Imm 3) in
+              let w1 = Builder.add b (Ir.Reg w0) (Ir.Reg y) in
+              let w2 = Builder.libcall b Ir.Lc_hash [ Ir.Reg w1 ] in
+              let w3 = Builder.band b (Ir.Reg w2) (Ir.Imm 15) in
+              let xx = Builder.add b (Ir.Reg x) (Ir.Reg w3) in
+              let yy = Builder.add b (Ir.Reg y) (Ir.Reg w3) in
+              (* the paper's Figure-5 pattern: a = a + 1 on a shared cell,
+                 executed only on some paths of the small hot loop *)
+              let is0 = Builder.eq b (Ir.Reg w3) (Ir.Imm 0) in
+              Builder.if_then b (Ir.Reg is0) (fun () ->
+                  let v =
+                    Builder.load b ~an:an_best
+                      (Ir.Imm best.Memory.Layout.base)
+                  in
+                  let v1 = Builder.add b (Ir.Reg v) (Ir.Imm 1) in
+                  Builder.store b ~an:an_best
+                    (Ir.Imm best.Memory.Layout.base) (Ir.Reg v1));
+              let nx = Builder.imin b (Ir.Reg minx) (Ir.Reg xx) in
+              Builder.mov_to b minx (Ir.Reg nx);
+              let mx = Builder.imax b (Ir.Reg maxx) (Ir.Reg xx) in
+              Builder.mov_to b maxx (Ir.Reg mx);
+              let ny = Builder.imin b (Ir.Reg miny) (Ir.Reg yy) in
+              Builder.mov_to b miny (Ir.Reg ny);
+              let my = Builder.imax b (Ir.Reg maxy) (Ir.Reg yy) in
+              Builder.mov_to b maxy (Ir.Reg my))
+        in
+        let dx = Builder.sub b (Ir.Reg maxx) (Ir.Reg minx) in
+        let dy = Builder.sub b (Ir.Reg maxy) (Ir.Reg miny) in
+        let c0 = Builder.add b (Ir.Reg dx) (Ir.Reg dy) in
+        let jitter = Builder.band b (Ir.Reg s1) (Ir.Imm 3) in
+        let c = Builder.add b (Ir.Reg c0) (Ir.Reg jitter) in
+        Builder.store b ~offset:(Ir.Reg net) ~an:an_cost
+          (Ir.Imm cost.Memory.Layout.base) (Ir.Reg c))
+  in
+  (* phase C: beefy per-net cost recomputation with a global accumulator
+     and a shared bucket histogram (a real memory-carried dependence) *)
+  let _ =
+    Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Reg n) (fun net ->
+        let first =
+          Builder.load b ~offset:(Ir.Reg net) ~an:(an_ns ())
+            (Ir.Imm netstart.Memory.Layout.base)
+        in
+        let acc = Builder.mov b (Ir.Imm 0) in
+        (* fixed-length scan keeps iterations beefy (~96 pins worth) *)
+        let _ =
+          Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 72)
+            (fun k ->
+              let p0 = Builder.add b (Ir.Reg first) (Ir.Reg k) in
+              let p = Builder.band b (Ir.Reg p0) (Ir.Imm (nets * max_pins - 1)) in
+              let x =
+                Builder.load b ~offset:(Ir.Reg p) ~an:an_pinx
+                  (Ir.Imm pinx.Memory.Layout.base)
+              in
+              let y =
+                Builder.load b ~offset:(Ir.Reg p) ~an:an_piny
+                  (Ir.Imm piny.Memory.Layout.base)
+              in
+              let d = Builder.mul b (Ir.Reg x) (Ir.Reg y) in
+              let a = Builder.add b (Ir.Reg acc) (Ir.Reg d) in
+              Builder.mov_to b acc (Ir.Reg a))
+        in
+        let t = Builder.add b (Ir.Reg total) (Ir.Reg acc) in
+        Builder.mov_to b total (Ir.Reg t);
+        let bk = Builder.band b (Ir.Reg acc) (Ir.Imm 7) in
+        let baddr =
+          Builder.add b (Ir.Imm bucket.Memory.Layout.base) (Ir.Reg bk)
+        in
+        let bv = Builder.load b ~an:an_bucket (Ir.Reg baddr) in
+        let bv1 = Builder.add b (Ir.Reg bv) (Ir.Imm 1) in
+        Builder.store b ~an:an_bucket (Ir.Reg baddr) (Ir.Reg bv1))
+  in
+  ());
+  let bestv = Builder.load b ~an:an_best (Ir.Imm best.Memory.Layout.base) in
+  let r0 = Builder.add b (Ir.Reg total) (Ir.Reg bestv) in
+  let r = Builder.add b (Ir.Reg r0) (Ir.Reg seed) in
+  Builder.ret b (Some (Ir.Reg r));
+  let prog = Ir.create_program () in
+  Ir.add_func prog (Builder.func b);
+  let init variant =
+    let mem = Memory.create () in
+    let nn, np = match variant with Train -> (48, 1) | Ref -> (128, 5) in
+    Memory.store mem params.Memory.Layout.base nn;
+    Memory.store mem (params.Memory.Layout.base + 1) np;
+    let rng = mk_rng 0xbeef in
+    (* CSR layout: nets with 8..16 pins *)
+    let pos = ref 0 in
+    for net = 0 to nets do
+      Memory.store mem (netstart.Memory.Layout.base + net) !pos;
+      if net < nets then pos := !pos + 8 + rng 13
+    done;
+    fill mem pinx.Memory.Layout.base (nets * max_pins) (fun _ -> rng 100);
+    fill mem piny.Memory.Layout.base (nets * max_pins) (fun _ -> rng 100);
+    mem
+  in
+  { prog; layout; init }
+
+let workload : t =
+  {
+    name = "175.vpr";
+    kind = Int;
+    phases = 28;
+    build;
+    paper =
+      {
+        p_speedup = 6.1;
+        p_coverage_v3 = 0.99;
+        p_coverage_v2 = 0.551;
+        p_coverage_v1 = 0.551;
+        p_dominant = "Low Trip Count";
+      };
+  }

@@ -1,0 +1,105 @@
+open Helix_ir
+
+(* Workload descriptors.
+
+   Each SPEC CPU2000 model is a synthetic IR program whose hot-loop
+   structure is calibrated to the paper's published per-benchmark
+   characteristics: Table 1 (phases, parallel-loop coverage), Figure 4
+   (iteration-length distribution, sharing patterns), and Figure 12
+   (dominant overhead category and HELIX-RC speedup).  The program text is
+   identical for training and reference runs; input sizes live in a
+   parameter block in memory, exactly like argv-driven SPEC binaries. *)
+
+type variant = Train | Ref
+
+type spec = {
+  prog : Ir.program;
+  layout : Memory.Layout.t;
+  init : variant -> Memory.t;
+}
+
+(* Reference values from the paper, used by EXPERIMENTS.md reporting. *)
+type paper_numbers = {
+  p_speedup : float;          (* HELIX-RC on 16 in-order cores (Fig. 12) *)
+  p_coverage_v3 : float;      (* Table 1 *)
+  p_coverage_v2 : float;
+  p_coverage_v1 : float;
+  p_dominant : string;        (* dominant overhead category (Fig. 12) *)
+}
+
+type kind = Int | Fp
+
+type t = {
+  name : string;
+  kind : kind;
+  phases : int;               (* SimPoint phases, Table 1 *)
+  build : unit -> spec;
+  paper : paper_numbers;
+}
+
+(* -- common generator helpers ---------------------------------------- *)
+
+(* Parameter block: word 0 holds the main problem size [n]. *)
+let param_region layout = Memory.Layout.alloc layout "params" 8
+
+let an_of (r : Memory.Layout.region) ?(flow = 0) ?affine ?(path = "")
+    ?(ty = "") () =
+  Ir.annot ~flow ~path ~ty ?affine r.Memory.Layout.site
+
+(* Load the problem size into a register (invariant thereafter). *)
+let load_param b (params : Memory.Layout.region) idx =
+  Builder.load b
+    ~offset:(Ir.Imm idx)
+    ~an:(an_of params ~path:"params" ~ty:"int" ())
+    (Ir.Imm params.Memory.Layout.base)
+
+(* A counted loop that no HCC version can parallelize: its body ends with
+   two distinct latch blocks (complex control flow back to the header), so
+   canonicalization fails.  Models the irregular outer loops of
+   non-numerical programs -- the compiler targets the small hot loops
+   nested inside instead. *)
+let noncanonical_loop b ~from ~below body =
+  let open Ir in
+  let i = Builder.fresh b in
+  Builder.mov_to b i from;
+  let header = Builder.fresh_label b in
+  let body_l = Builder.fresh_label b in
+  let latch_a = Builder.fresh_label b in
+  let latch_b = Builder.fresh_label b in
+  let exit_l = Builder.fresh_label b in
+  Builder.jmp b header;
+  Builder.switch_to b header;
+  let c = Builder.lt b (Reg i) below in
+  Builder.br b (Reg c) body_l exit_l;
+  Builder.switch_to b body_l;
+  body i;
+  let i' = Builder.add b (Reg i) (Imm 1) in
+  Builder.mov_to b i (Reg i');
+  let parity = Builder.band b (Reg i) (Imm 1) in
+  Builder.br b (Reg parity) latch_a latch_b;
+  Builder.switch_to b latch_a;
+  Builder.jmp b header;
+  Builder.switch_to b latch_b;
+  Builder.jmp b header;
+  Builder.switch_to b exit_l;
+  i
+
+(* Outer pass loop, non-canonical so no compiler version parallelizes it:
+   SPEC workloads iterate many times over their working set (placement
+   passes, compression blocks, simplex pivots); the repeat structure also
+   keeps caches warm, as in the real programs. *)
+let repeat b ~(times : Ir.operand) body =
+  ignore (noncanonical_loop b ~from:(Ir.Imm 0) ~below:times body)
+
+(* Deterministic pseudo-random stream for memory initialization. *)
+let mk_rng seed =
+  let state = ref (seed land max_int) in
+  fun bound ->
+    state := ((!state * 2862933555777941757) + 3037000493) land max_int;
+    if bound <= 0 then 0 else (!state lsr 17) mod bound
+
+(* Write [n] words starting at [base] using [f]. *)
+let fill mem base n f =
+  for i = 0 to n - 1 do
+    Memory.store mem (base + i) (f i)
+  done

@@ -1,0 +1,59 @@
+open Helix_ir
+
+(** Workload descriptors: synthetic IR programs whose hot-loop structure
+    is calibrated to the paper's published per-benchmark statistics.
+    Program text is identical for training and reference runs; input
+    sizes live in a parameter block in memory. *)
+
+type variant = Train | Ref
+
+type spec = {
+  prog : Ir.program;
+  layout : Memory.Layout.t;
+  init : variant -> Memory.t;
+}
+
+(** Reference values from the paper, for reporting. *)
+type paper_numbers = {
+  p_speedup : float;
+  p_coverage_v3 : float;
+  p_coverage_v2 : float;
+  p_coverage_v1 : float;
+  p_dominant : string;
+}
+
+type kind = Int | Fp
+
+type t = {
+  name : string;
+  kind : kind;
+  phases : int;          (** SimPoint phases, Table 1 *)
+  build : unit -> spec;  (** deterministic *)
+  paper : paper_numbers;
+}
+
+(** {1 Generator helpers} *)
+
+val param_region : Memory.Layout.t -> Memory.Layout.region
+
+val an_of :
+  Memory.Layout.region ->
+  ?flow:int -> ?affine:int -> ?path:string -> ?ty:string -> unit ->
+  Ir.mem_annot
+
+val load_param : Builder.t -> Memory.Layout.region -> int -> Ir.reg
+
+val noncanonical_loop :
+  Builder.t -> from:Ir.operand -> below:Ir.operand -> (Ir.reg -> unit) ->
+  Ir.reg
+(** A counted loop with two latch blocks: no HCC version can parallelize
+    it — models the irregular outer loops the compiler skips. *)
+
+val repeat : Builder.t -> times:Ir.operand -> (Ir.reg -> unit) -> unit
+(** Non-canonical outer pass loop (SPEC workloads iterate over a warm
+    working set). *)
+
+val mk_rng : int -> int -> int
+(** Deterministic generator for input synthesis: [mk_rng seed bound]. *)
+
+val fill : Memory.t -> int -> int -> (int -> int) -> unit

@@ -1,0 +1,424 @@
+open Helix_ir
+open Helix_analysis
+open Helix_hcc
+
+(* Tests for the HCC compiler: canonicalization, transforms, segment
+   construction and placement, code generation, the cost model, loop
+   selection and the full compile pipeline. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let an ?(flow = -1) ?(path = "") ?(ty = "") ?affine site =
+  Ir.annot ~flow ~path ~ty ?affine site
+
+(* Build a program from a main body, with a layout for cells. *)
+let mk_prog build =
+  let layout = Memory.Layout.create () in
+  let b = Builder.create "main" in
+  let ret = build b layout in
+  Builder.ret b (Some ret);
+  let p = Ir.create_program () in
+  Ir.add_func p (Builder.func b);
+  (p, layout)
+
+(* Compile the outermost loop of main with the given config; None if the
+   loop was not parallelizable. *)
+let compile_main_loop ?(config = Hcc_config.v3 ()) (p, layout) =
+  let f = Ir.main_func p in
+  let cfg = Cfg.of_func f in
+  let lt = Loops.compute cfg in
+  let lp = List.find (fun l -> l.Loops.l_depth = 1) (Loops.loops lt) in
+  Codegen.compile_loop
+    { Codegen.cg_prog = p; cg_layout = layout; cg_config = config }
+    f cfg lp ~loop_id:0
+
+(* a simple shared-cell loop: cell += i *)
+let cell_loop () =
+  mk_prog (fun b layout ->
+      let cell = Memory.Layout.alloc layout "cell" 8 in
+      let an_c = an ~path:"cell" cell.Memory.Layout.site in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 12) (fun i ->
+            let v = Builder.load b ~an:an_c (Ir.Imm cell.Memory.Layout.base) in
+            let v1 = Builder.add b (Ir.Reg v) (Ir.Reg i) in
+            Builder.store b ~an:an_c (Ir.Imm cell.Memory.Layout.base)
+              (Ir.Reg v1))
+      in
+      Ir.Imm 0)
+
+(* ---- canonicalization & transforms ---------------------------------- *)
+
+let transform_tests =
+  [
+    tc "builder loop is canonical" (fun () ->
+        let p, _ = cell_loop () in
+        let f = Ir.main_func p in
+        let lt = Loops.compute (Cfg.of_func f) in
+        let lp = List.hd (Loops.loops lt) in
+        Alcotest.(check bool) "canonical" true
+          (Transform.canonicalize f lp <> None));
+    tc "two-latch loop is rejected" (fun () ->
+        let b = Builder.create "main" in
+        let i = Builder.fresh b in
+        Builder.mov_to b i (Ir.Imm 0);
+        let header = Builder.fresh_label b in
+        let body_l = Builder.fresh_label b in
+        let la = Builder.fresh_label b in
+        let lb = Builder.fresh_label b in
+        let exit_l = Builder.fresh_label b in
+        Builder.jmp b header;
+        Builder.switch_to b header;
+        let c = Builder.lt b (Ir.Reg i) (Ir.Imm 5) in
+        Builder.br b (Ir.Reg c) body_l exit_l;
+        Builder.switch_to b body_l;
+        let i' = Builder.add b (Ir.Reg i) (Ir.Imm 1) in
+        Builder.mov_to b i (Ir.Reg i');
+        let par = Builder.band b (Ir.Reg i) (Ir.Imm 1) in
+        Builder.br b (Ir.Reg par) la lb;
+        Builder.switch_to b la;
+        Builder.jmp b header;
+        Builder.switch_to b lb;
+        Builder.jmp b header;
+        Builder.switch_to b exit_l;
+        Builder.ret b None;
+        let f = Builder.func b in
+        let lt = Loops.compute (Cfg.of_func f) in
+        let lp = List.hd (Loops.loops lt) in
+        Alcotest.(check bool) "rejected" true
+          (Transform.canonicalize f lp = None));
+    tc "dead code elimination removes unused arithmetic" (fun () ->
+        let b = Builder.create "main" in
+        let live = Builder.mov b (Ir.Imm 1) in
+        let _dead = Builder.mul b (Ir.Reg live) (Ir.Imm 7) in
+        Builder.ret b (Some (Ir.Reg live));
+        let f = Builder.func b in
+        let removed = Transform.dead_code_elim f in
+        check Alcotest.int "one removed" 1 removed);
+    tc "dead code elimination keeps stores" (fun () ->
+        let b = Builder.create "main" in
+        Builder.store b ~an:(an 1) (Ir.Imm 100) (Ir.Imm 5);
+        Builder.ret b None;
+        let f = Builder.func b in
+        check Alcotest.int "nothing removed" 0 (Transform.dead_code_elim f));
+  ]
+
+(* ---- segments -------------------------------------------------------- *)
+
+let pos b i = { Ir.ip_block = b; ip_index = i }
+
+let segment_tests =
+  [
+    tc "merging down to max_segments" (fun () ->
+        let classes =
+          [ ([ an 1 ], [ pos 1 0 ]); ([ an 2 ], [ pos 1 1 ]);
+            ([ an 3 ], [ pos 1 2 ]) ]
+        in
+        check Alcotest.int "unlimited" 3
+          (List.length (Segments.build ~max_segments:max_int ~opaque:false classes));
+        check Alcotest.int "merged to one" 1
+          (List.length (Segments.build ~max_segments:1 ~opaque:false classes));
+        check Alcotest.int "merged to two" 2
+          (List.length (Segments.build ~max_segments:2 ~opaque:false classes)));
+    tc "opaque forces a single segment" (fun () ->
+        let classes = [ ([ an 1 ], [ pos 1 0 ]); ([ an 2 ], [ pos 1 1 ]) ] in
+        check Alcotest.int "one" 1
+          (List.length (Segments.build ~max_segments:max_int ~opaque:true classes)));
+    tc "merged segment unions positions" (fun () ->
+        let classes = [ ([ an 1 ], [ pos 1 0 ]); ([ an 2 ], [ pos 2 0 ]) ] in
+        match Segments.build ~max_segments:1 ~opaque:false classes with
+        | [ s ] -> check Alcotest.int "positions" 2 (List.length s.Segments.seg_positions)
+        | _ -> Alcotest.fail "expected one segment");
+  ]
+
+(* ---- codegen ----------------------------------------------------------- *)
+
+let codegen_tests =
+  [
+    tc "cell loop: counted kind, one segment, tight placement" (fun () ->
+        match compile_main_loop (cell_loop ()) with
+        | None -> Alcotest.fail "should compile"
+        | Some pl ->
+            (match pl.Parallel_loop.pl_kind with
+            | Parallel_loop.Counted c ->
+                Alcotest.(check bool) "cmp lt" true (c.Parallel_loop.ccmp = Ir.Lt)
+            | Parallel_loop.Conditional -> Alcotest.fail "expected counted");
+            check Alcotest.int "segments" 1
+              (List.length pl.Parallel_loop.pl_segments);
+            match (List.hd pl.Parallel_loop.pl_segments).Parallel_loop.si_placement with
+            | Parallel_loop.Tight { bracket = [ _ ]; empty = [] } -> ()
+            | _ -> Alcotest.fail "expected single tight bracket");
+    tc "body function is well-formed and registered" (fun () ->
+        let (p, _) as inp = cell_loop () in
+        match compile_main_loop inp with
+        | None -> Alcotest.fail "should compile"
+        | Some pl ->
+            let bf = Ir.find_func p pl.Parallel_loop.pl_body_fn in
+            Verify.check_func bf;
+            Alcotest.(check bool) "has wait" true
+              (Ir.fold_instrs bf false (fun acc _ ins ->
+                   acc || match ins with Ir.Wait _ -> true | _ -> false));
+            Alcotest.(check bool) "has signal" true
+              (Ir.fold_instrs bf false (fun acc _ ins ->
+                   acc || match ins with Ir.Signal _ -> true | _ -> false)));
+    tc "reduction privatized into partial cells" (fun () ->
+        let inp =
+          mk_prog (fun b _layout ->
+              let acc = Builder.mov b (Ir.Imm 0) in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 9)
+                  (fun i ->
+                    let hv = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+                    let a = Builder.add b (Ir.Reg acc) (Ir.Reg hv) in
+                    Builder.mov_to b acc (Ir.Reg a))
+              in
+              Ir.Reg acc)
+        in
+        match compile_main_loop inp with
+        | None -> Alcotest.fail "should compile"
+        | Some pl ->
+            check Alcotest.int "one reduction" 1
+              (List.length pl.Parallel_loop.pl_reductions);
+            check Alcotest.int "no segments" 0
+              (List.length pl.Parallel_loop.pl_segments);
+            let rd = List.hd pl.Parallel_loop.pl_reductions in
+            Alcotest.(check bool) "live out" true rd.Parallel_loop.rd_live_out);
+    tc "unpredictable register demoted to a shared cell" (fun () ->
+        let inp =
+          mk_prog (fun b _layout ->
+              let u = Builder.mov b (Ir.Imm 3) in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 9)
+                  (fun _ ->
+                    let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg u ] in
+                    Builder.mov_to b u (Ir.Reg h))
+              in
+              Ir.Reg u)
+        in
+        match compile_main_loop inp with
+        | None -> Alcotest.fail "should compile"
+        | Some pl ->
+            check Alcotest.int "one shared reg" 1
+              (List.length pl.Parallel_loop.pl_shared_regs);
+            Alcotest.(check bool) "scratch covers it" true
+              (pl.Parallel_loop.pl_scratch <> []));
+    tc "diamond placement with signal-only empty arm (v3)" (fun () ->
+        let inp =
+          mk_prog (fun b layout ->
+              let cell = Memory.Layout.alloc layout "cell" 8 in
+              let an_c = an ~path:"cell" cell.Memory.Layout.site in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 16)
+                  (fun i ->
+                    let cond = Builder.band b (Ir.Reg i) (Ir.Imm 3) in
+                    let is0 = Builder.eq b (Ir.Reg cond) (Ir.Imm 0) in
+                    Builder.if_then b (Ir.Reg is0) (fun () ->
+                        let v =
+                          Builder.load b ~an:an_c
+                            (Ir.Imm cell.Memory.Layout.base)
+                        in
+                        let v1 = Builder.add b (Ir.Reg v) (Ir.Imm 1) in
+                        Builder.store b ~an:an_c
+                          (Ir.Imm cell.Memory.Layout.base) (Ir.Reg v1)))
+              in
+              Ir.Imm 0)
+        in
+        let p, _ = inp in
+        match compile_main_loop inp with
+        | None -> Alcotest.fail "should compile"
+        | Some pl -> (
+            match
+              (List.hd pl.Parallel_loop.pl_segments).Parallel_loop.si_placement
+            with
+            | Parallel_loop.Tight { bracket = [ _ ]; empty = [ arm ] } ->
+                (* under v3 the empty arm signals without waiting *)
+                let bf = Ir.find_func p pl.Parallel_loop.pl_body_fn in
+                let waits_in_empty = ref 0 and signals_in_empty = ref 0 in
+                ignore arm;
+                Ir.iter_instrs bf (fun _ ins ->
+                    match ins with
+                    | Ir.Wait _ -> incr waits_in_empty
+                    | Ir.Signal _ -> incr signals_in_empty
+                    | _ -> ());
+                (* one wait (access arm) and two signals (both arms) *)
+                check Alcotest.int "waits" 1 !waits_in_empty;
+                check Alcotest.int "signals" 2 !signals_in_empty
+            | _ -> Alcotest.fail "expected diamond placement"));
+    tc "v2 keeps the wait on the empty arm" (fun () ->
+        let inp =
+          mk_prog (fun b layout ->
+              let cell = Memory.Layout.alloc layout "cell" 8 in
+              let an_c = an ~path:"cell" cell.Memory.Layout.site in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 16)
+                  (fun i ->
+                    let cond = Builder.band b (Ir.Reg i) (Ir.Imm 3) in
+                    let is0 = Builder.eq b (Ir.Reg cond) (Ir.Imm 0) in
+                    Builder.if_then b (Ir.Reg is0) (fun () ->
+                        let v =
+                          Builder.load b ~an:an_c
+                            (Ir.Imm cell.Memory.Layout.base)
+                        in
+                        let v1 = Builder.add b (Ir.Reg v) (Ir.Imm 1) in
+                        Builder.store b ~an:an_c
+                          (Ir.Imm cell.Memory.Layout.base) (Ir.Reg v1)))
+              in
+              Ir.Imm 0)
+        in
+        let p, _ = inp in
+        match compile_main_loop ~config:(Hcc_config.v2 ()) inp with
+        | None -> Alcotest.fail "should compile"
+        | Some pl ->
+            let bf = Ir.find_func p pl.Parallel_loop.pl_body_fn in
+            let waits = ref 0 in
+            Ir.iter_instrs bf (fun _ ins ->
+                match ins with Ir.Wait _ -> incr waits | _ -> ());
+            check Alcotest.int "two waits" 2 !waits);
+    tc "v1 merges all classes into one segment" (fun () ->
+        let inp =
+          mk_prog (fun b layout ->
+              let c1 = Memory.Layout.alloc layout "c1" 8 in
+              let c2 = Memory.Layout.alloc layout "c2" 8 in
+              let a1 = an ~path:"c1" c1.Memory.Layout.site in
+              let a2 = an ~path:"c2" c2.Memory.Layout.site in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 8)
+                  (fun i ->
+                    let v = Builder.load b ~an:a1 (Ir.Imm c1.Memory.Layout.base) in
+                    let v1 = Builder.add b (Ir.Reg v) (Ir.Reg i) in
+                    Builder.store b ~an:a1 (Ir.Imm c1.Memory.Layout.base) (Ir.Reg v1);
+                    let w = Builder.load b ~an:a2 (Ir.Imm c2.Memory.Layout.base) in
+                    let w1 = Builder.bxor b (Ir.Reg w) (Ir.Reg i) in
+                    Builder.store b ~an:a2 (Ir.Imm c2.Memory.Layout.base) (Ir.Reg w1))
+              in
+              Ir.Imm 0)
+        in
+        (match compile_main_loop ~config:(Hcc_config.v1 ()) inp with
+        | Some pl ->
+            check Alcotest.int "v1: one segment" 1
+              (List.length pl.Parallel_loop.pl_segments)
+        | None -> Alcotest.fail "v1 should compile");
+        let inp2 =
+          mk_prog (fun b layout ->
+              let c1 = Memory.Layout.alloc layout "c1" 8 in
+              let c2 = Memory.Layout.alloc layout "c2" 8 in
+              let a1 = an ~path:"c1" c1.Memory.Layout.site in
+              let a2 = an ~path:"c2" c2.Memory.Layout.site in
+              let _ =
+                Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 8)
+                  (fun i ->
+                    let v = Builder.load b ~an:a1 (Ir.Imm c1.Memory.Layout.base) in
+                    let v1 = Builder.add b (Ir.Reg v) (Ir.Reg i) in
+                    Builder.store b ~an:a1 (Ir.Imm c1.Memory.Layout.base) (Ir.Reg v1);
+                    let w = Builder.load b ~an:a2 (Ir.Imm c2.Memory.Layout.base) in
+                    let w1 = Builder.bxor b (Ir.Reg w) (Ir.Reg i) in
+                    Builder.store b ~an:a2 (Ir.Imm c2.Memory.Layout.base) (Ir.Reg w1))
+              in
+              Ir.Imm 0)
+        in
+        match compile_main_loop inp2 with
+        | Some pl ->
+            check Alcotest.int "v3: two segments" 2
+              (List.length pl.Parallel_loop.pl_segments)
+        | None -> Alcotest.fail "v3 should compile");
+    tc "segment access in the header bails out" (fun () ->
+        (* a while-style loop whose condition loads shared memory *)
+        let inp =
+          mk_prog (fun b layout ->
+              let cell = Memory.Layout.alloc layout "cell" 8 in
+              let an_c = an ~path:"cell" cell.Memory.Layout.site in
+              Builder.store b ~an:an_c (Ir.Imm cell.Memory.Layout.base)
+                (Ir.Imm 10);
+              let _ =
+                Builder.while_loop b
+                  (fun () ->
+                    let v =
+                      Builder.load b ~an:an_c (Ir.Imm cell.Memory.Layout.base)
+                    in
+                    Builder.gt b (Ir.Reg v) (Ir.Imm 0))
+                  (fun () ->
+                    let v =
+                      Builder.load b ~an:an_c (Ir.Imm cell.Memory.Layout.base)
+                    in
+                    let v1 = Builder.sub b (Ir.Reg v) (Ir.Imm 1) in
+                    Builder.store b ~an:an_c (Ir.Imm cell.Memory.Layout.base)
+                      (Ir.Reg v1))
+              in
+              Ir.Imm 0)
+        in
+        Alcotest.(check bool) "not parallelized" true
+          (compile_main_loop inp = None));
+    tc "added instruction accounting is positive" (fun () ->
+        match compile_main_loop (cell_loop ()) with
+        | Some pl ->
+            Alcotest.(check bool) "added > 0" true
+              (pl.Parallel_loop.pl_added_static_instrs > 0)
+        | None -> Alcotest.fail "should compile");
+  ]
+
+(* ---- perf model & selection ---------------------------------------------- *)
+
+let model_tests =
+  [
+    tc "decoupling beats conventional for segment-bearing loops" (fun () ->
+        let lf =
+          {
+            Perf_model.lf_iter_instrs = 30.0;
+            lf_iterations = 1000.0;
+            lf_invocations = 10.0;
+            lf_segments = 1;
+            lf_segment_instrs = 4.0;
+            lf_body_static = 30;
+            lf_loop_wide = false;
+          }
+        in
+        let conv =
+          Perf_model.estimate ~n_cores:16 ~sync_latency:30 ~decoupled:false lf
+        in
+        let dec =
+          Perf_model.estimate ~n_cores:16 ~sync_latency:10 ~decoupled:true lf
+        in
+        Alcotest.(check bool) "decoupled faster" true
+          (dec.Perf_model.e_speedup > conv.Perf_model.e_speedup));
+    tc "loop-wide segments kill the estimate" (fun () ->
+        let lf =
+          {
+            Perf_model.lf_iter_instrs = 30.0;
+            lf_iterations = 1000.0;
+            lf_invocations = 10.0;
+            lf_segments = 1;
+            lf_segment_instrs = 4.0;
+            lf_body_static = 30;
+            lf_loop_wide = true;
+          }
+        in
+        let e =
+          Perf_model.estimate ~n_cores:16 ~sync_latency:10 ~decoupled:true lf
+        in
+        Alcotest.(check bool) "near 1x" true (e.Perf_model.e_speedup < 1.2));
+    tc "DOALL estimate approaches the core count" (fun () ->
+        let lf =
+          {
+            Perf_model.lf_iter_instrs = 200.0;
+            lf_iterations = 10000.0;
+            lf_invocations = 1.0;
+            lf_segments = 0;
+            lf_segment_instrs = 0.0;
+            lf_body_static = 200;
+            lf_loop_wide = false;
+          }
+        in
+        let e =
+          Perf_model.estimate ~n_cores:16 ~sync_latency:10 ~decoupled:true lf
+        in
+        Alcotest.(check bool) "near 16x" true (e.Perf_model.e_speedup > 12.0));
+  ]
+
+let () =
+  Alcotest.run "hcc"
+    [
+      ("transform", transform_tests);
+      ("segments", segment_tests);
+      ("codegen", codegen_tests);
+      ("perf-model", model_tests);
+    ]

@@ -1,0 +1,315 @@
+open Helix_ring
+
+(* Tests for the ring cache: node arrays, signal buffers, owner hashing,
+   and the ring network itself (value circulation, lockstep, flow
+   control, flush semantics, miss paths, invalidation). *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---- node array ---------------------------------------------------- *)
+
+let node_array_tests =
+  [
+    tc "insert then lookup" (fun () ->
+        let a = Node_array.create ~size_words:32 ~assoc:4 () in
+        ignore (Node_array.insert a 100 7);
+        check Alcotest.(option int) "hit" (Some 7) (Node_array.lookup a 100));
+    tc "missing address" (fun () ->
+        let a = Node_array.create ~size_words:32 ~assoc:4 () in
+        check Alcotest.(option int) "miss" None (Node_array.lookup a 5));
+    tc "update in place" (fun () ->
+        let a = Node_array.create ~size_words:32 ~assoc:4 () in
+        ignore (Node_array.insert a 100 7);
+        ignore (Node_array.insert a 100 8);
+        check Alcotest.(option int) "updated" (Some 8)
+          (Node_array.lookup a 100));
+    tc "capacity eviction" (fun () ->
+        (* 8 words, 1-way, line 1: 8 sets; conflicting addresses share a set *)
+        let a = Node_array.create ~size_words:8 ~assoc:1 () in
+        ignore (Node_array.insert a 0 1);
+        (match Node_array.insert a 8 2 with
+        | Some (0, _) -> ()
+        | _ -> Alcotest.fail "expected eviction of line 0");
+        check Alcotest.(option int) "old gone" None (Node_array.lookup a 0));
+    tc "invalidate" (fun () ->
+        let a = Node_array.create ~size_words:32 ~assoc:4 () in
+        ignore (Node_array.insert a 100 7);
+        Node_array.invalidate a 100;
+        check Alcotest.(option int) "gone" None (Node_array.lookup a 100));
+    tc "unbounded variant never evicts" (fun () ->
+        let a = Node_array.create ~size_words:max_int ~assoc:8 () in
+        for i = 0 to 9999 do
+          ignore (Node_array.insert a i i)
+        done;
+        check Alcotest.(option int) "first still in" (Some 0)
+          (Node_array.lookup a 0));
+    tc "multi-word line groups words" (fun () ->
+        let a = Node_array.create ~line_words:4 ~size_words:32 ~assoc:2 () in
+        ignore (Node_array.insert a 8 1);
+        ignore (Node_array.insert a 9 2);
+        check Alcotest.(option int) "word 8" (Some 1) (Node_array.lookup a 8);
+        check Alcotest.(option int) "word 9" (Some 2) (Node_array.lookup a 9));
+  ]
+
+(* ---- signal buffer --------------------------------------------------- *)
+
+let signal_tests =
+  [
+    tc "threshold satisfied only after enough signals" (fun () ->
+        let b = Signal_buffer.create () in
+        Alcotest.(check bool) "zero threshold" true
+          (Signal_buffer.satisfied b ~seg:0 ~origin:1 ~threshold:0);
+        Alcotest.(check bool) "not yet" false
+          (Signal_buffer.satisfied b ~seg:0 ~origin:1 ~threshold:1);
+        Signal_buffer.record b ~seg:0 ~origin:1;
+        Alcotest.(check bool) "now" true
+          (Signal_buffer.satisfied b ~seg:0 ~origin:1 ~threshold:1));
+    tc "segments and origins independent" (fun () ->
+        let b = Signal_buffer.create () in
+        Signal_buffer.record b ~seg:0 ~origin:1;
+        Alcotest.(check bool) "other segment" false
+          (Signal_buffer.satisfied b ~seg:1 ~origin:1 ~threshold:1);
+        Alcotest.(check bool) "other origin" false
+          (Signal_buffer.satisfied b ~seg:0 ~origin:2 ~threshold:1));
+    tc "max_outstanding tracks unconsumed signals" (fun () ->
+        let b = Signal_buffer.create () in
+        Signal_buffer.record b ~seg:0 ~origin:1;
+        Signal_buffer.record b ~seg:0 ~origin:1;
+        check Alcotest.int "two outstanding" 2 (Signal_buffer.max_outstanding b);
+        ignore (Signal_buffer.satisfied b ~seg:0 ~origin:1 ~threshold:2);
+        Signal_buffer.record b ~seg:0 ~origin:1;
+        check Alcotest.int "still two max" 2 (Signal_buffer.max_outstanding b));
+    tc "reset clears state" (fun () ->
+        let b = Signal_buffer.create () in
+        Signal_buffer.record b ~seg:0 ~origin:1;
+        Signal_buffer.reset b;
+        check Alcotest.int "received" 0 (Signal_buffer.received b ~seg:0 ~origin:1));
+  ]
+
+(* ---- owner hashing ----------------------------------------------------- *)
+
+let owner_tests =
+  [
+    tc "all words of a line share an owner" (fun () ->
+        for line = 0 to 20 do
+          let o0 = Owner.node_of ~n_nodes:16 (line * 8) in
+          for w = 1 to 7 do
+            check Alcotest.int "same owner" o0
+              (Owner.node_of ~n_nodes:16 ((line * 8) + w))
+          done
+        done);
+    tc "owner in range" (fun () ->
+        for a = 0 to 1000 do
+          let o = Owner.node_of ~n_nodes:16 a in
+          Alcotest.(check bool) "range" true (o >= 0 && o < 16)
+        done);
+    tc "distances" (fun () ->
+        check Alcotest.int "forward" 3 (Owner.forward_distance ~n_nodes:16 ~src:15 ~dst:2);
+        check Alcotest.int "undirected wraps" 3
+          (Owner.undirected_distance ~n_nodes:16 ~src:2 ~dst:15));
+  ]
+
+(* ---- ring network -------------------------------------------------------- *)
+
+let backing = Hashtbl.create 64
+
+let mk_ring ?(n = 4) ?(cfg_f = fun c -> c) () =
+  Hashtbl.reset backing;
+  let cfg = cfg_f (Ring.default_config ~n_nodes:n) in
+  Ring.create cfg
+    {
+      Ring.backing_load =
+        (fun a -> try Hashtbl.find backing a with Not_found -> 0);
+      backing_store = (fun a v -> Hashtbl.replace backing a v);
+      owner_l1_latency = (fun ~core:_ ~cycle:_ ~write:_ ~addr:_ -> 3);
+    }
+
+let tick_n r ~from n =
+  for c = from to from + n - 1 do
+    Ring.tick r ~cycle:c
+  done
+
+let ring_tests =
+  [
+    tc "store becomes visible at every node within a lap" (fun () ->
+        let r = mk_ring () in
+        Alcotest.(check bool) "accepted" true
+          (Ring.try_store r ~node:0 ~addr:64 ~value:9 ~cycle:0);
+        tick_n r ~from:0 20;
+        for node = 0 to 3 do
+          let v, _ = Ring.load r ~node ~addr:64 ~cycle:25 in
+          check Alcotest.int (Fmt.str "node %d" node) 9 v
+        done);
+    tc "local store visible immediately" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:2 ~addr:8 ~value:5 ~cycle:0);
+        let v, lat = Ring.load r ~node:2 ~addr:8 ~cycle:0 in
+        check Alcotest.int "value" 5 v;
+        Alcotest.(check bool) "hit latency small" true (lat <= 4));
+    tc "remote node before arrival sees stale value (decoupling)" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:1 ~cycle:0);
+        tick_n r ~from:0 20;
+        (* node 3 now caches value 1; a new store at node 0 takes time *)
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:2 ~cycle:20);
+        let v, _ = Ring.load r ~node:3 ~addr:8 ~cycle:20 in
+        check Alcotest.int "stale read before arrival" 1 v;
+        tick_n r ~from:20 20;
+        let v2, _ = Ring.load r ~node:3 ~addr:8 ~cycle:40 in
+        check Alcotest.int "fresh after arrival" 2 v2);
+    tc "signals propagate to all other nodes" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_signal r ~node:1 ~seg:3 ~cycle:0);
+        tick_n r ~from:0 20;
+        List.iter
+          (fun node ->
+            Alcotest.(check bool) (Fmt.str "node %d" node) true
+              (Ring.signals_satisfied r ~node ~seg:3 ~origin:1 ~threshold:1))
+          [ 0; 2; 3 ]);
+    tc "lockstep: signal never outruns its guarded data" (fun () ->
+        (* with one data wire, a burst of stores followed by a signal: at
+           any node and any cycle, once the signal is visible the last
+           store's value must already be readable there *)
+        let r = mk_ring ~n:8 () in
+        for k = 0 to 6 do
+          ignore
+            (Ring.try_store r ~node:0 ~addr:(64 + k) ~value:(k + 1) ~cycle:0)
+        done;
+        ignore (Ring.try_signal r ~node:0 ~seg:0 ~cycle:0);
+        for cycle = 0 to 80 do
+          Ring.tick r ~cycle;
+          List.iter
+            (fun node ->
+              if
+                Ring.signals_satisfied r ~node ~seg:0 ~origin:0 ~threshold:1
+              then begin
+                let v, lat = Ring.load r ~node ~addr:70 ~cycle in
+                check Alcotest.int
+                  (Fmt.str "node %d cycle %d guarded value" node cycle)
+                  7 v;
+                Alcotest.(check bool) "served locally" true (lat <= 4)
+              end)
+            [ 1; 3; 5; 7 ]
+        done);
+    tc "load miss fetches the authoritative value" (fun () ->
+        (* tiny arrays force capacity misses *)
+        let r =
+          mk_ring ~cfg_f:(fun c -> { c with Ring.array_size_words = 4; array_assoc = 1 }) ()
+        in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:42 ~cycle:0);
+        (* overflow node 0's array with conflicting addresses *)
+        for k = 1 to 8 do
+          ignore (Ring.try_store r ~node:0 ~addr:(8 + (k * 4)) ~value:k ~cycle:k)
+        done;
+        tick_n r ~from:0 100;
+        let v, lat = Ring.load r ~node:0 ~addr:8 ~cycle:100 in
+        check Alcotest.int "authoritative" 42 v;
+        Alcotest.(check bool) "miss is slow" true (lat > 4));
+    tc "miss on never-stored address reads backing memory" (fun () ->
+        let r = mk_ring () in
+        Hashtbl.replace backing 500 77;
+        let v, _ = Ring.load r ~node:1 ~addr:500 ~cycle:0 in
+        check Alcotest.int "backing value" 77 v);
+    tc "flush writes dirty values back and keeps copies" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:5 ~cycle:0);
+        tick_n r ~from:0 20;
+        let lat = Ring.flush r ~cycle:20 in
+        Alcotest.(check bool) "flush latency positive" true (lat >= 1);
+        check Alcotest.int "backing updated" 5
+          (try Hashtbl.find backing 8 with Not_found -> 0);
+        (* clean copy still hits *)
+        let v, l = Ring.load r ~node:2 ~addr:8 ~cycle:25 in
+        check Alcotest.int "still cached" 5 v;
+        Alcotest.(check bool) "hit" true (l <= 4));
+    tc "invalidate_addr drops every copy" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:5 ~cycle:0);
+        tick_n r ~from:0 20;
+        ignore (Ring.flush r ~cycle:20);
+        Ring.invalidate_addr r 8;
+        Hashtbl.replace backing 8 6;
+        let v, _ = Ring.load r ~node:3 ~addr:8 ~cycle:30 in
+        check Alcotest.int "fresh from backing" 6 v);
+    tc "data_drained after enough ticks" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:1 ~cycle:0);
+        Alcotest.(check bool) "not drained immediately" false
+          (Ring.data_drained r);
+        tick_n r ~from:0 30;
+        Alcotest.(check bool) "drained" true (Ring.data_drained r));
+    tc "injection queue backpressure returns false" (fun () ->
+        let r =
+          mk_ring ~cfg_f:(fun c -> { c with Ring.inject_capacity = 2 }) ()
+        in
+        Alcotest.(check bool) "1st" true
+          (Ring.try_store r ~node:0 ~addr:1 ~value:1 ~cycle:0);
+        Alcotest.(check bool) "2nd" true
+          (Ring.try_store r ~node:0 ~addr:2 ~value:1 ~cycle:0);
+        Alcotest.(check bool) "3rd rejected" false
+          (Ring.try_store r ~node:0 ~addr:3 ~value:1 ~cycle:0));
+    tc "consumer histograms populated" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:1 ~cycle:0);
+        tick_n r ~from:0 20;
+        ignore (Ring.load r ~node:2 ~addr:8 ~cycle:25);
+        ignore (Ring.load r ~node:3 ~addr:8 ~cycle:26);
+        ignore (Ring.flush r ~cycle:30);
+        let cons = Ring.consumers_histogram r in
+        check Alcotest.int "a value with 2 consumers" 1 cons.(2));
+  ]
+
+(* property: random store traffic always drains and, for single-writer
+   addresses (the compiler's segment ordering guarantees there are no
+   unsynchronized multi-writer races), the last store is what every node
+   reads afterwards *)
+let prop_circulation =
+  QCheck.Test.make ~name:"random traffic drains; last store wins everywhere"
+    ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 30)
+       (pair (int_range 0 3) (pair (int_range 0 7) (int_range 1 99))))
+    (fun ops ->
+      let r = mk_ring ~n:4 () in
+      let last = Hashtbl.create 8 in
+      List.iteri
+        (fun i (node, (slot, v)) ->
+          (* one writer per address *)
+          let addr = 64 + (node * 16) + slot in
+          (* retry until accepted, ticking in between *)
+          let rec go c =
+            if Ring.try_store r ~node ~addr ~value:v ~cycle:c then c
+            else begin
+              Ring.tick r ~cycle:c;
+              go (c + 1)
+            end
+          in
+          let c = go (i * 3) in
+          Ring.tick r ~cycle:c;
+          Hashtbl.replace last addr v)
+        ops;
+      let base = 3 * List.length ops in
+      for c = base to base + 60 do
+        Ring.tick r ~cycle:c
+      done;
+      Ring.data_drained r
+      && Hashtbl.fold
+           (fun addr v acc ->
+             acc
+             && List.for_all
+                  (fun node ->
+                    fst (Ring.load r ~node ~addr ~cycle:(base + 100)) = v)
+                  [ 0; 1; 2; 3 ])
+           last true)
+
+let props = [ QCheck_alcotest.to_alcotest prop_circulation ]
+
+let () =
+  Alcotest.run "ring"
+    [
+      ("node-array", node_array_tests);
+      ("signal-buffer", signal_tests);
+      ("owner", owner_tests);
+      ("ring", ring_tests);
+      ("properties", props);
+    ]

@@ -1,0 +1,590 @@
+open Helix_ir
+open Helix_machine
+open Helix_hcc
+open Helix_core
+
+(* End-to-end runtime tests: the cycle-stepped executor against the
+   reference interpreter, across loop shapes, machine configurations and
+   communication modes; protocol fault injection; invariants. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let an ?(flow = -1) ?(path = "") ?(ty = "") ?affine site =
+  Ir.annot ~flow ~path ~ty ?affine site
+
+type scenario = {
+  prog : unit -> Ir.program * Memory.Layout.t;
+  name : string;
+}
+
+let mk name build = { name; prog = (fun () ->
+    let layout = Memory.Layout.create () in
+    let b = Builder.create "main" in
+    let ret = build b layout in
+    Builder.ret b (Some ret);
+    let p = Ir.create_program () in
+    Ir.add_func p (Builder.func b);
+    (p, layout)) }
+
+(* ---- scenario corpus -------------------------------------------------- *)
+
+(* shared histogram + reduction + affine output *)
+let s_hist =
+  mk "histogram" (fun b layout ->
+      let data = Memory.Layout.alloc layout "data" 512 in
+      let hist = Memory.Layout.alloc layout "hist" 16 in
+      let out = Memory.Layout.alloc layout "out" 512 in
+      let an_d = an ~path:"d[]" ~affine:0 data.Memory.Layout.site in
+      let an_h = an ~path:"h[]" hist.Memory.Layout.site in
+      let an_o = an ~path:"o[]" ~affine:0 out.Memory.Layout.site in
+      (* init *)
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 400) (fun i ->
+            let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+            let v = Builder.band b (Ir.Reg h) (Ir.Imm 255) in
+            Builder.store b ~offset:(Ir.Reg i) ~an:an_d
+              (Ir.Imm data.Memory.Layout.base) (Ir.Reg v))
+      in
+      let sum = Builder.mov b (Ir.Imm 0) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 400) (fun i ->
+            let d =
+              Builder.load b ~offset:(Ir.Reg i) ~an:an_d
+                (Ir.Imm data.Memory.Layout.base)
+            in
+            let k = Builder.band b (Ir.Reg d) (Ir.Imm 15) in
+            let slot = Builder.add b (Ir.Imm hist.Memory.Layout.base) (Ir.Reg k) in
+            let hv = Builder.load b ~an:an_h (Ir.Reg slot) in
+            let hv1 = Builder.add b (Ir.Reg hv) (Ir.Imm 1) in
+            Builder.store b ~an:an_h (Ir.Reg slot) (Ir.Reg hv1);
+            Builder.store b ~offset:(Ir.Reg i) ~an:an_o
+              (Ir.Imm out.Memory.Layout.base) (Ir.Reg d);
+            let s = Builder.add b (Ir.Reg sum) (Ir.Reg d) in
+            Builder.mov_to b sum (Ir.Reg s))
+      in
+      Ir.Reg sum)
+
+(* quadratic IV with live-out, plus min/max/product reductions *)
+let s_quadratic =
+  mk "quadratic" (fun b _layout ->
+      let q = Builder.mov b (Ir.Imm 5) in
+      let st = Builder.mov b (Ir.Imm 3) in
+      let mn = Builder.mov b (Ir.Imm max_int) in
+      let mx = Builder.mov b (Ir.Imm min_int) in
+      let pr = Builder.mov b (Ir.Imm 1) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 37) (fun i ->
+            let st' = Builder.add b (Ir.Reg st) (Ir.Imm 2) in
+            Builder.mov_to b st (Ir.Reg st');
+            let q' = Builder.add b (Ir.Reg q) (Ir.Reg st) in
+            Builder.mov_to b q (Ir.Reg q');
+            let hv = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+            let hv' = Builder.band b (Ir.Reg hv) (Ir.Imm 63) in
+            let m1 = Builder.imin b (Ir.Reg mn) (Ir.Reg hv') in
+            Builder.mov_to b mn (Ir.Reg m1);
+            let m2 = Builder.imax b (Ir.Reg mx) (Ir.Reg hv') in
+            Builder.mov_to b mx (Ir.Reg m2);
+            let p0 = Builder.band b (Ir.Reg hv') (Ir.Imm 3) in
+            let p1 = Builder.add b (Ir.Reg p0) (Ir.Imm 1) in
+            let p2 = Builder.mul b (Ir.Reg pr) (Ir.Reg p1) in
+            let p3 = Builder.band b (Ir.Reg p2) (Ir.Imm 0xffff) in
+            (* masking breaks the pure product idiom; use plain product *)
+            ignore p3;
+            Builder.mov_to b pr (Ir.Reg p2))
+      in
+      let t0 = Builder.add b (Ir.Reg q) (Ir.Reg mn) in
+      let t1 = Builder.add b (Ir.Reg t0) (Ir.Reg mx) in
+      let t2 = Builder.band b (Ir.Reg pr) (Ir.Imm 1023) in
+      let t3 = Builder.add b (Ir.Reg t1) (Ir.Reg t2) in
+      Ir.Reg t3)
+
+(* conditionally-set last-value variable *)
+let s_lastval =
+  mk "lastval" (fun b _layout ->
+      let seen = Builder.mov b (Ir.Imm (-1)) in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm 50) (fun i ->
+            let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+            let bit = Builder.band b (Ir.Reg h) (Ir.Imm 7) in
+            let is0 = Builder.eq b (Ir.Reg bit) (Ir.Imm 0) in
+            Builder.if_then b (Ir.Reg is0) (fun () ->
+                Builder.mov_to b seen (Ir.Reg i)))
+      in
+      Ir.Reg seen)
+
+(* data-dependent exit: conditional (gated) parallel loop *)
+let s_conditional =
+  mk "conditional" (fun b layout ->
+      let cell = Memory.Layout.alloc layout "budget" 8 in
+      let an_c = an ~path:"budget" cell.Memory.Layout.site in
+      Builder.store b ~an:an_c (Ir.Imm cell.Memory.Layout.base) (Ir.Imm 37);
+      let spent = Builder.mov b (Ir.Imm 0) in
+      let _ =
+        Builder.while_loop b
+          (fun () -> Builder.lt b (Ir.Reg spent) (Ir.Reg spent) |> fun _ ->
+            (* condition on a register chain the compiler cannot count:
+               spent < limit where limit derives from a hash *)
+            let lim = Builder.libcall b Ir.Lc_hash [ Ir.Reg spent ] in
+            let lim7 = Builder.band b (Ir.Reg lim) (Ir.Imm 127) in
+            let c = Builder.ne b (Ir.Reg lim7) (Ir.Imm 3) in
+            let stop = Builder.gt b (Ir.Reg spent) (Ir.Imm 40) in
+            let notstop = Builder.eq b (Ir.Reg stop) (Ir.Imm 0) in
+            Builder.band b (Ir.Reg c) (Ir.Reg notstop))
+          (fun () ->
+            let s = Builder.add b (Ir.Reg spent) (Ir.Imm 1) in
+            Builder.mov_to b spent (Ir.Reg s))
+      in
+      Ir.Reg spent)
+
+(* trip-count edge cases *)
+let s_trip n =
+  mk (Fmt.str "trip%d" n) (fun b layout ->
+      let cell = Memory.Layout.alloc layout "c" 8 in
+      let an_c = an ~path:"c" cell.Memory.Layout.site in
+      let _ =
+        Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm n) (fun i ->
+            let v = Builder.load b ~an:an_c (Ir.Imm cell.Memory.Layout.base) in
+            let v1 = Builder.add b (Ir.Reg v) (Ir.Reg i) in
+            Builder.store b ~an:an_c (Ir.Imm cell.Memory.Layout.base)
+              (Ir.Reg v1))
+      in
+      let v = Builder.load b ~an:an_c (Ir.Imm cell.Memory.Layout.base) in
+      Ir.Reg v)
+
+(* downward-counting loop *)
+let s_downward =
+  mk "downward" (fun b _layout ->
+      let i = Builder.fresh b in
+      Builder.mov_to b i (Ir.Imm 40);
+      let acc = Builder.mov b (Ir.Imm 0) in
+      let header = Builder.fresh_label b in
+      let body_l = Builder.fresh_label b in
+      let exit_l = Builder.fresh_label b in
+      Builder.jmp b header;
+      Builder.switch_to b header;
+      let c = Builder.gt b (Ir.Reg i) (Ir.Imm 0) in
+      Builder.br b (Ir.Reg c) body_l exit_l;
+      Builder.switch_to b body_l;
+      let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+      let h7 = Builder.band b (Ir.Reg h) (Ir.Imm 7) in
+      let a = Builder.add b (Ir.Reg acc) (Ir.Reg h7) in
+      Builder.mov_to b acc (Ir.Reg a);
+      let i' = Builder.sub b (Ir.Reg i) (Ir.Imm 1) in
+      Builder.mov_to b i (Ir.Reg i');
+      Builder.jmp b header;
+      Builder.switch_to b exit_l;
+      Ir.Reg acc)
+
+let scenarios =
+  [ s_hist; s_quadratic; s_lastval; s_conditional; s_trip 0; s_trip 1;
+    s_trip 7; s_trip 16; s_trip 33; s_downward ]
+
+(* ---- equivalence harness ----------------------------------------------- *)
+
+let compile_v3 (p, layout) =
+  Hcc.compile (Hcc_config.v3 ()) p layout ~train_mem:(Memory.create ())
+
+let run_scenario ?(exec_cfg = Executor.default_config Mach_config.default)
+    (s : scenario) =
+  let gp, _ = s.prog () in
+  let g = Helix.golden_run gp (Memory.create ()) in
+  let cp, layout = s.prog () in
+  let compiled = Hcc.compile (Hcc_config.v3 ()) cp layout
+      ~train_mem:(Memory.create ()) in
+  let par = Executor.run ~compiled exec_cfg compiled.Hcc.cp_prog (Memory.create ()) in
+  (g, compiled, par)
+
+let equivalence_tests =
+  List.map
+    (fun s ->
+      tc (Fmt.str "parallel == sequential: %s" s.name) (fun () ->
+          let g, _, par = run_scenario s in
+          let v = Helix.verify g par in
+          Alcotest.(check bool) v.Helix.detail true v.Helix.ok))
+    scenarios
+
+let comm_mode_tests =
+  List.concat_map
+    (fun (mode_name, ring, comm) ->
+      List.map
+        (fun s ->
+          tc (Fmt.str "%s mode: %s" mode_name s.name) (fun () ->
+              let cfg =
+                Executor.default_config ~ring ~comm Mach_config.default
+              in
+              let g, _, par = run_scenario ~exec_cfg:cfg s in
+              let v = Helix.verify g par in
+              Alcotest.(check bool) v.Helix.detail true v.Helix.ok))
+        [ s_hist; s_quadratic; s_trip 7 ])
+    [
+      ("conventional", false, Executor.fully_coupled);
+      ("sync-only", true,
+       { Executor.reg_via_ring = false; mem_via_ring = false;
+         sync_via_ring = true });
+      ("mem-only", true,
+       { Executor.reg_via_ring = false; mem_via_ring = true;
+         sync_via_ring = false });
+    ]
+
+let machine_tests =
+  List.concat_map
+    (fun (mname, core) ->
+      List.map
+        (fun s ->
+          tc (Fmt.str "%s: %s" mname s.name) (fun () ->
+              let mach = Mach_config.with_core_kind Mach_config.default core in
+              let g, _, par =
+                run_scenario ~exec_cfg:(Executor.default_config mach) s
+              in
+              let v = Helix.verify g par in
+              Alcotest.(check bool) v.Helix.detail true v.Helix.ok))
+        [ s_hist; s_quadratic ])
+    [ ("ooo2", Mach_config.ooo2_core); ("ooo4", Mach_config.ooo4_core) ]
+
+let core_count_tests =
+  List.map
+    (fun n ->
+      tc (Fmt.str "histogram on %d cores" n) (fun () ->
+          let gp, _ = s_hist.prog () in
+          let g = Helix.golden_run gp (Memory.create ()) in
+          let cp, layout = s_hist.prog () in
+          let compiled =
+            Hcc.compile (Hcc_config.v3 ~target_cores:n ()) cp layout
+              ~train_mem:(Memory.create ())
+          in
+          let cfg =
+            Executor.default_config (Mach_config.with_cores Mach_config.default n)
+          in
+          let par =
+            Executor.run ~compiled cfg compiled.Hcc.cp_prog (Memory.create ())
+          in
+          let v = Helix.verify g par in
+          Alcotest.(check bool) v.Helix.detail true v.Helix.ok))
+    [ 1; 2; 3; 5; 8; 16 ]
+
+(* ---- invariants ----------------------------------------------------------- *)
+
+let invariant_tests =
+  [
+    tc "speedup: parallel histogram beats sequential" (fun () ->
+        let sp, _ = s_hist.prog () in
+        let seq = Helix.run_sequential Mach_config.default sp (Memory.create ()) in
+        let _, _, par = run_scenario s_hist in
+        let su = Helix.speedup ~seq ~par in
+        Alcotest.(check bool) (Fmt.str "speedup %.2f > 1.5" su) true
+          (su > 1.5));
+    tc "one-lap bound: at most 2 outstanding signals" (fun () ->
+        List.iter
+          (fun s ->
+            let _, _, par = run_scenario s in
+            Alcotest.(check bool)
+              (Fmt.str "%s: max outstanding %d" s.name
+                 par.Executor.r_max_outstanding_signals)
+              true
+              (par.Executor.r_max_outstanding_signals <= 2))
+          scenarios);
+    tc "overhead fractions bounded" (fun () ->
+        let sp, _ = s_hist.prog () in
+        let seq = Helix.run_sequential Mach_config.default sp (Memory.create ()) in
+        let _, _, par = run_scenario s_hist in
+        let ov =
+          Overhead.analyze ~n_cores:16 ~seq_retired:seq.Executor.r_retired par
+        in
+        List.iter
+          (fun (nm, v) ->
+            Alcotest.(check bool) (nm ^ " in [0,1]") true (v >= 0.0 && v <= 1.0))
+          (Overhead.categories ov);
+        let total =
+          List.fold_left (fun a (_, v) -> a +. v) 0.0 (Overhead.categories ov)
+        in
+        Alcotest.(check bool) "sum <= 1" true (total <= 1.0 +. 1e-9));
+    tc "invocation records match loop activity" (fun () ->
+        let _, compiled, par = run_scenario s_hist in
+        Alcotest.(check bool) "some invocations" true
+          (List.length par.Executor.r_invocations
+           >= List.length compiled.Hcc.cp_selected));
+  ]
+
+(* ---- fault injection --------------------------------------------------------- *)
+
+(* Remove every Wait from the generated body functions: the oracle must
+   catch the resulting protocol violation (stale reads). *)
+let strip_waits (compiled : Hcc.compiled) =
+  List.iter
+    (fun (pl : Parallel_loop.t) ->
+      let bf = Ir.find_func compiled.Hcc.cp_prog pl.Parallel_loop.pl_body_fn in
+      List.iter
+        (fun l ->
+          let blk = Ir.block_of_func bf l in
+          blk.Ir.b_instrs <-
+            List.filter
+              (fun ins -> match ins with Ir.Wait _ -> false | _ -> true)
+              blk.Ir.b_instrs)
+        bf.Ir.f_order)
+    (Hcc.selected_loops compiled)
+
+let fault_tests =
+  [
+    tc "removing waits is caught by the oracle" (fun () ->
+        let gp, _ = s_hist.prog () in
+        let g = Helix.golden_run gp (Memory.create ()) in
+        let cp, layout = s_hist.prog () in
+        let compiled = compile_v3 (cp, layout) in
+        strip_waits compiled;
+        let par =
+          Executor.run ~compiled
+            (Executor.default_config Mach_config.default)
+            compiled.Hcc.cp_prog (Memory.create ())
+        in
+        Alcotest.(check bool) "protocol violation detected" false
+          (Helix.verify g par).Helix.ok);
+  ]
+
+(* ---- context engine --------------------------------------------------------- *)
+
+(* The eager context must agree with the interpreter on private-only
+   programs: pull every uop and compare the final return value. *)
+let drain_context prog =
+  let mem = Memory.create () in
+  let ctx = Context.create prog mem ~core_id:0 in
+  Context.start ctx prog.Ir.p_main [];
+  let steps = ref 0 in
+  let rec go () =
+    incr steps;
+    if !steps > 2_000_000 then Alcotest.fail "context did not terminate";
+    match Context.next_uop ctx with
+    | Some _ -> go ()
+    | None -> (
+        match Context.status ctx with
+        | Context.Finished rv -> (rv, mem)
+        | _ -> Alcotest.fail "context stuck")
+  in
+  go ()
+
+let context_tests =
+  [
+    tc "context matches interpreter on scenarios" (fun () ->
+        List.iter
+          (fun s ->
+            let p1, _ = s.prog () in
+            let g = Helix.golden_run p1 (Memory.create ()) in
+            let p2, _ = s.prog () in
+            let rv, mem = drain_context p2 in
+            check
+              Alcotest.(option int)
+              (s.name ^ " return") g.Helix.g_ret rv;
+            Alcotest.(check bool) (s.name ^ " memory") true
+              (Memory.equal g.Helix.g_mem mem))
+          scenarios);
+    tc "wait_depth counts wait/signal" (fun () ->
+        let b = Builder.create "main" in
+        Builder.wait b 0;
+        Builder.wait b 1;
+        Builder.signal b 1;
+        Builder.ret b None;
+        let p = Ir.create_program () in
+        Ir.add_func p (Builder.func b);
+        let ctx = Context.create p (Memory.create ()) ~core_id:0 in
+        Context.start ctx "main" [];
+        (* pull wait 0 *)
+        ignore (Context.next_uop ctx);
+        check Alcotest.int "depth 1" 1 (Context.wait_depth ctx);
+        ignore (Context.next_uop ctx);
+        check Alcotest.int "depth 2" 2 (Context.wait_depth ctx);
+        ignore (Context.next_uop ctx);
+        check Alcotest.int "depth 1 again" 1 (Context.wait_depth ctx));
+  ]
+
+let () =
+  Alcotest.run ~and_exit:false "runtime"
+    [
+      ("equivalence", equivalence_tests);
+      ("comm-modes", comm_mode_tests);
+      ("machines", machine_tests);
+      ("core-counts", core_count_tests);
+      ("invariants", invariant_tests);
+      ("fault-injection", fault_tests);
+      ("context", context_tests);
+    ]
+
+(* ---- randomized pipeline property ------------------------------------- *)
+
+(* Generate random canonical loops mixing the five carried-dependence
+   flavours (induction, reduction, last-value, demoted register, shared
+   memory cell, affine array) and check parallel == sequential for each.
+   This is the strongest oracle in the suite: any unsound analysis,
+   mis-placed bracket or runtime race shows up as a memory or return
+   mismatch. *)
+
+type feature =
+  | F_reduction of Ir.binop
+  | F_shared_cell
+  | F_lastval
+  | F_demoted
+  | F_affine_store
+  | F_poly2
+
+let gen_features =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (oneofl
+         [ F_reduction Ir.Add; F_reduction Ir.Max; F_reduction Ir.Mul;
+           F_shared_cell; F_lastval; F_demoted; F_affine_store; F_poly2 ]))
+
+let build_random (trip, features) () =
+  let layout = Memory.Layout.create () in
+  let b = Builder.create "main" in
+  let cell_regions =
+    List.mapi
+      (fun k _ -> Memory.Layout.alloc layout (Fmt.str "cell%d" k) 8)
+      features
+  in
+  let arr = Memory.Layout.alloc layout "arr" 256 in
+  let outs = ref [] in
+  let carried =
+    List.map
+      (fun f ->
+        match f with
+        | F_reduction Ir.Mul -> (f, Builder.mov b (Ir.Imm 1))
+        | F_reduction Ir.Max -> (f, Builder.mov b (Ir.Imm min_int))
+        | F_lastval -> (f, Builder.mov b (Ir.Imm (-7)))
+        | F_poly2 ->
+            let s = Builder.mov b (Ir.Imm 1) in
+            ignore s;
+            (f, Builder.mov b (Ir.Imm 0))
+        | _ -> (f, Builder.mov b (Ir.Imm 0)))
+      features
+  in
+  (* poly2 needs its own step register *)
+  let steps =
+    List.map
+      (fun (f, _) ->
+        match f with F_poly2 -> Some (Builder.mov b (Ir.Imm 2)) | _ -> None)
+      carried
+  in
+  let _ =
+    Builder.counted_loop b ~from:(Ir.Imm 0) ~below:(Ir.Imm trip) (fun i ->
+        List.iteri
+          (fun k ((f, r) : feature * Ir.reg) ->
+            let region = List.nth cell_regions k in
+            let an_c =
+              Ir.annot ~path:(Fmt.str "c%d" k) region.Memory.Layout.site
+            in
+            let base = Ir.Imm region.Memory.Layout.base in
+            match f with
+            | F_reduction op ->
+                let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+                let x0 = Builder.band b (Ir.Reg h) (Ir.Imm 7) in
+                let x = Builder.add b (Ir.Reg x0) (Ir.Imm 1) in
+                let nv = Builder.binop b op (Ir.Reg r) (Ir.Reg x) in
+                Builder.mov_to b r (Ir.Reg nv)
+            | F_shared_cell ->
+                let v = Builder.load b ~an:an_c base in
+                let v1 = Builder.add b (Ir.Reg v) (Ir.Reg i) in
+                Builder.store b ~an:an_c base (Ir.Reg v1)
+            | F_lastval ->
+                let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg i ] in
+                let c = Builder.band b (Ir.Reg h) (Ir.Imm 3) in
+                let is0 = Builder.eq b (Ir.Reg c) (Ir.Imm 0) in
+                Builder.if_then b (Ir.Reg is0) (fun () ->
+                    Builder.mov_to b r (Ir.Reg i))
+            | F_demoted ->
+                (* r mixes its previous value through a hash: must be
+                   demoted to a shared cell *)
+                let h = Builder.libcall b Ir.Lc_hash [ Ir.Reg r ] in
+                let h' = Builder.band b (Ir.Reg h) (Ir.Imm 1023) in
+                Builder.mov_to b r (Ir.Reg h')
+            | F_affine_store ->
+                let idx = Builder.band b (Ir.Reg i) (Ir.Imm 255) in
+                let an_a =
+                  Ir.annot ~path:"arr[]" ~affine:0 arr.Memory.Layout.site
+                in
+                Builder.store b ~offset:(Ir.Reg idx) ~an:an_a
+                  (Ir.Imm arr.Memory.Layout.base) (Ir.Reg i)
+            | F_poly2 -> (
+                match List.nth steps k with
+                | Some s ->
+                    let s' = Builder.add b (Ir.Reg s) (Ir.Imm 2) in
+                    Builder.mov_to b s (Ir.Reg s');
+                    let r' = Builder.add b (Ir.Reg r) (Ir.Reg s) in
+                    Builder.mov_to b r (Ir.Reg r')
+                | None -> ()))
+          carried)
+  in
+  (* fold every carried value plus the shared cells into the result *)
+  List.iteri
+    (fun k ((f, r) : feature * Ir.reg) ->
+      let region = List.nth cell_regions k in
+      match f with
+      | F_shared_cell ->
+          let v =
+            Builder.load b
+              ~an:(Ir.annot ~path:(Fmt.str "c%d" k) region.Memory.Layout.site)
+              (Ir.Imm region.Memory.Layout.base)
+          in
+          outs := v :: !outs
+      | F_reduction Ir.Mul ->
+          let m = Builder.band b (Ir.Reg r) (Ir.Imm 0xfffff) in
+          outs := m :: !outs
+      | _ -> outs := r :: !outs)
+    carried;
+  let total =
+    List.fold_left
+      (fun acc r ->
+        let t = Builder.add b (Ir.Reg acc) (Ir.Reg r) in
+        t)
+      (Builder.mov b (Ir.Imm 0))
+      !outs
+  in
+  Builder.ret b (Some (Ir.Reg total));
+  let p = Ir.create_program () in
+  Ir.add_func p (Builder.func b);
+  (p, layout)
+
+let prop_random_pipeline =
+  QCheck.Test.make ~name:"random loops: parallel == sequential" ~count:25
+    (QCheck.make QCheck.Gen.(pair (int_range 0 60) gen_features))
+    (fun params ->
+      let build = build_random params in
+      let gp, _ = build () in
+      let g = Helix.golden_run gp (Memory.create ()) in
+      let cp, layout = build () in
+      let compiled =
+        Hcc.compile (Hcc_config.v3 ()) cp layout ~train_mem:(Memory.create ())
+      in
+      let par =
+        Executor.run ~compiled
+          (Executor.default_config Mach_config.default)
+          compiled.Hcc.cp_prog (Memory.create ())
+      in
+      (Helix.verify g par).Helix.ok
+      && par.Executor.r_max_outstanding_signals <= 2)
+
+let prop_random_pipeline_conventional =
+  QCheck.Test.make ~name:"random loops: conventional machine oracle"
+    ~count:15
+    (QCheck.make QCheck.Gen.(pair (int_range 0 40) gen_features))
+    (fun params ->
+      let build = build_random params in
+      let gp, _ = build () in
+      let g = Helix.golden_run gp (Memory.create ()) in
+      let cp, layout = build () in
+      let compiled =
+        Hcc.compile (Hcc_config.v2 ()) cp layout ~train_mem:(Memory.create ())
+      in
+      let par =
+        Executor.run ~compiled
+          (Executor.default_config ~ring:false ~comm:Executor.fully_coupled
+             Mach_config.default)
+          compiled.Hcc.cp_prog (Memory.create ())
+      in
+      (Helix.verify g par).Helix.ok)
+
+let () =
+  Alcotest.run ~and_exit:false "runtime-properties"
+    [
+      ("random-pipeline",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_random_pipeline; prop_random_pipeline_conventional ]);
+    ]

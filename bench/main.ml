@@ -10,7 +10,9 @@
    (interpreter, compiler, ring network, caches, core models) so
    performance regressions in the simulator are visible.
 
-   Set HELIX_BENCH_QUICK=1 to restrict part 1 to the CINT models. *)
+   Set HELIX_BENCH_QUICK=1 to restrict part 1 to the CINT models.
+   Set HELIX_BENCH_METRICS_DIR=<dir> to also dump each figure's table as
+   <dir>/<figure>.json for machine consumption (CI trend tracking). *)
 
 open Helix_ir
 open Helix_hcc
@@ -23,6 +25,21 @@ let quick = Sys.getenv_opt "HELIX_BENCH_QUICK" <> None
 
 let workloads = if quick then Registry.integer else Registry.all
 
+let metrics_dir = Sys.getenv_opt "HELIX_BENCH_METRICS_DIR"
+
+(* Print a figure's table and, when HELIX_BENCH_METRICS_DIR is set, dump
+   it as <dir>/<name>.json too. *)
+let emit name report =
+  Report.print report;
+  match metrics_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".json") in
+      let oc = open_out path in
+      output_string oc (Helix_obs.Json.to_string (Report.to_json report));
+      output_char oc '\n';
+      close_out oc
+
 (* ---- part 1: the paper's tables and figures -------------------------- *)
 
 let part1 () =
@@ -30,27 +47,27 @@ let part1 () =
   Fmt.pr "HELIX-RC evaluation reproduction (%s workload set)@."
     (if quick then "CINT" else "full");
   Fmt.pr "==================================================================@.";
-  Report.print (Fig1.report (Fig1.run ~workloads ()));
-  Report.print (Fig2.report (Fig2.run ()));
-  Report.print (Fig3.report (Fig3.run ()));
-  Report.print (Fig4.report (Fig4.run ()));
-  Report.print (Table1.report (Table1.run ~workloads ()));
-  Report.print (Fig7.report (Fig7.run ~workloads ()));
-  Report.print (Fig8.report (Fig8.run ()));
-  Report.print (Fig9.report (Fig9.run ()));
-  Report.print (Fig10.report (Fig10.run ()));
-  Report.print
+  emit "fig1" (Fig1.report (Fig1.run ~workloads ()));
+  emit "fig2" (Fig2.report (Fig2.run ()));
+  emit "fig3" (Fig3.report (Fig3.run ()));
+  emit "fig4" (Fig4.report (Fig4.run ()));
+  emit "table1" (Table1.report (Table1.run ~workloads ()));
+  emit "fig7" (Fig7.report (Fig7.run ~workloads ()));
+  emit "fig8" (Fig8.report (Fig8.run ()));
+  emit "fig9" (Fig9.report (Fig9.run ()));
+  emit "fig10" (Fig10.report (Fig10.run ()));
+  emit "fig11a"
     (Fig11.report ~title:"Figure 11a: core count" (Fig11.core_count ()));
-  Report.print
+  emit "fig11b"
     (Fig11.report ~title:"Figure 11b: link latency" (Fig11.link_latency ()));
-  Report.print
+  emit "fig11c"
     (Fig11.report ~title:"Figure 11c: signal bandwidth"
        (Fig11.signal_bandwidth ()));
-  Report.print
+  emit "fig11d"
     (Fig11.report ~title:"Figure 11d: node memory size" (Fig11.node_memory ()));
-  Report.print (Fig12.report (Fig12.run ~workloads ()));
-  Report.print (Tlp_study.report (Tlp_study.run ()));
-  Report.print (Ablations.report (Ablations.run ()))
+  emit "fig12" (Fig12.report (Fig12.run ~workloads ()));
+  emit "tlp" (Tlp_study.report (Tlp_study.run ()));
+  emit "ablations" (Ablations.report (Ablations.run ()))
 
 (* ---- part 2: substrate micro-benchmarks ------------------------------- *)
 

@@ -190,21 +190,83 @@ let compile_cmd =
           `Ok ())
       $ wl $ version_arg |> ret)
 
+(* ---- observability options (shared by run and stats) ---- *)
+
+let trace_arg =
+  let doc =
+    "Record a structured event trace of the HELIX-RC run (stores, signals, \
+     lockstep holds, back-pressure, waits, loop entry/flush) and write the \
+     most recent events to $(docv) as JSON lines."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write every counter of the HELIX-RC run (ring, per-core cycle buckets, \
+     memory hierarchy, executor) to $(docv) as a flat JSON object."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Open an output path before the (possibly minutes-long) simulation so
+   a typo'd directory fails fast with a clean error. *)
+let open_sink = function
+  | None -> Ok None
+  | Some file -> (
+      try Ok (Some (file, open_out file)) with Sys_error m -> Error m)
+
+(* HELIX-RC run honouring --trace: a traced run bypasses the memo cache
+   (the cached result has no events attached). *)
+let run_helix_obs wl ~traced =
+  if not traced then (Exp_common.run_helix wl Exp_common.V3, None)
+  else
+    let tr = Helix_obs.Trace.create () in
+    let r =
+      Exp_common.parallel ~cache:false ~tag:"helix-traced" wl Exp_common.V3
+        (Exp_common.helix_cfg ~trace:tr ())
+    in
+    (r, Some tr)
+
+let dump_obs (par : Executor.result) ~trace_sink ~metrics_sink trace =
+  (match (trace_sink, trace) with
+  | Some (file, oc), Some tr ->
+      Helix_obs.Trace.write_jsonl tr oc;
+      close_out oc;
+      Fmt.pr "trace: %d events to %s (%d dropped by ring buffer)@."
+        (Helix_obs.Trace.length tr)
+        file
+        (Helix_obs.Trace.dropped tr)
+  | _ -> ());
+  match metrics_sink with
+  | None -> ()
+  | Some (file, oc) ->
+      output_string oc (Helix_obs.Json.to_string
+                          (Helix_obs.Metrics.to_json par.Executor.r_metrics));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "metrics: %d counters to %s@."
+        (List.length (Helix_obs.Metrics.names par.Executor.r_metrics))
+        file
+
 let run_cmd =
   let doc = "Simulate one workload sequentially and with HELIX-RC." in
   let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun wl ->
-          let seq = Exp_common.sequential wl in
-          let par = Exp_common.run_helix wl Exp_common.V3 in
-          Fmt.pr "%s: sequential %d cycles; HELIX-RC %d cycles; speedup \
-                  %.2fx; oracle %s@."
-            wl.Workload.name seq.Executor.r_cycles par.Executor.r_cycles
-            (Helix.speedup ~seq ~par)
-            (if Exp_common.verified wl par then "OK" else "FAIL");
-          `Ok ())
-      $ wl |> ret)
+      const (fun wl trace_file metrics_file ->
+          match (open_sink trace_file, open_sink metrics_file) with
+          | Error m, _ | _, Error m -> `Error (false, m)
+          | Ok trace_sink, Ok metrics_sink ->
+              let seq = Exp_common.sequential wl in
+              let par, tr = run_helix_obs wl ~traced:(trace_sink <> None) in
+              Fmt.pr "%s: sequential %d cycles; HELIX-RC %d cycles; speedup \
+                      %.2fx; oracle %s@."
+                wl.Workload.name seq.Executor.r_cycles par.Executor.r_cycles
+                (Helix.speedup ~seq ~par)
+                (if Exp_common.verified wl par then "OK" else "FAIL");
+              dump_obs par ~trace_sink ~metrics_sink tr;
+              `Ok ())
+      $ wl $ trace_arg $ metrics_arg |> ret)
 
 let overhead_cmd =
   let doc = "Show the Figure-12 overhead taxonomy for one workload." in
@@ -231,8 +293,11 @@ let stats_cmd =
   let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const (fun wl ->
-          let par = Exp_common.run_helix wl Exp_common.V3 in
+      const (fun wl trace_file metrics_file ->
+          match (open_sink trace_file, open_sink metrics_file) with
+          | Error m, _ | _, Error m -> `Error (false, m)
+          | Ok trace_sink, Ok metrics_sink ->
+          let par, tr = run_helix_obs wl ~traced:(trace_sink <> None) in
           Fmt.pr "%s: %d cycles (%d serial, %d parallel), %d instructions@."
             wl.Workload.name par.Executor.r_cycles
             par.Executor.r_serial_cycles par.Executor.r_parallel_cycles
@@ -259,8 +324,9 @@ let stats_cmd =
           Fmt.pr "  ring hit rate: %.1f%%; max outstanding signals: %d@."
             (100.0 *. par.Executor.r_ring_hit_rate)
             par.Executor.r_max_outstanding_signals;
+          dump_obs par ~trace_sink ~metrics_sink tr;
           `Ok ())
-      $ wl |> ret)
+      $ wl $ trace_arg $ metrics_arg |> ret)
 
 let list_cmd =
   let doc = "List the available workload models." in

@@ -2,6 +2,9 @@ open Helix_ir
 open Helix_machine
 open Helix_ring
 open Helix_hcc
+module Trace = Helix_obs.Trace
+module Metrics = Helix_obs.Metrics
+module Json = Helix_obs.Json
 
 (* The HELIX-RC executor: a cycle-stepped simulation of a multicore
    running a compiled program.
@@ -44,9 +47,13 @@ type config = {
   comm : comm_mode;
   setup_latency : int;
   fuel : int;
+  watchdog_cycles : int;
+      (* cycles without a single retirement before declaring the run
+         stuck; tests lower it to exercise the deadlock report *)
+  trace : Trace.t option;
 }
 
-let default_config ?(ring = true) ?(comm = fully_decoupled) mach =
+let default_config ?(ring = true) ?(comm = fully_decoupled) ?trace mach =
   {
     mach;
     ring_cfg =
@@ -55,6 +62,8 @@ let default_config ?(ring = true) ?(comm = fully_decoupled) mach =
     comm;
     setup_latency = 10;
     fuel = 400_000_000;
+    watchdog_cycles = 2_000_000;
+    trace;
   }
 
 type invocation_record = {
@@ -76,6 +85,9 @@ type result = {
   r_ring_consumers_hist : int array;  (* Figure 4c *)
   r_max_outstanding_signals : int;
   r_ring_hit_rate : float;
+  r_metrics : Metrics.t;
+      (* every component's counters, published under dotted names
+         under the ring./core.<i>./cores./hier./exec. prefixes *)
 }
 
 exception Stuck of string
@@ -222,7 +234,10 @@ let shared_op t ~core ~cycle ~tag (op : Uop.shared_op) : Uop.shared_outcome =
               conv_signal_visible t ~seg ~origin ~threshold ~cycle)
             (wait_thresholds t ~core ~local_iter)
       in
-      if satisfied then Uop.Sh_done { latency = 1; value = 0 }
+      if satisfied then begin
+        Trace.wait_complete t.cfg.trace ~cycle ~core ~seg ~iter:local_iter;
+        Uop.Sh_done { latency = 1; value = 0 }
+      end
       else begin
         if !traced < trace_invocations && cycle land 15 = 0 then begin
           let missing =
@@ -411,6 +426,8 @@ let begin_parallel t (pl : Parallel_loop.t) =
     Printf.eprintf "  [trace] @%d begin_parallel loop%d trip=%s\n" !(t.now)
       pl.Parallel_loop.pl_id
       (match trip with Some k -> string_of_int k | None -> "?");
+  Trace.loop_enter t.cfg.trace ~cycle:!(t.now) ~loop:pl.Parallel_loop.pl_id
+    ~trip;
   let red_entry =
     List.map
       (fun (rd : Parallel_loop.reduction) ->
@@ -551,6 +568,10 @@ let end_parallel t (ps : par_state) =
       inv_cycles = !(t.now) - ps.ps_entry_cycle;
     }
     :: t.invocations;
+  Trace.loop_flush t.cfg.trace ~cycle:!(t.now) ~loop:pl.Parallel_loop.pl_id
+    ~iterations:executed
+    ~span:(!(t.now) - ps.ps_entry_cycle)
+    ~flush_latency:flush_lat;
   t.serial_stall_until <- !(t.now) + 2 + flush_lat;
   Context.jump_to sc pl.Parallel_loop.pl_exit;
   t.phase <- Serial
@@ -574,7 +595,7 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
   let ring =
     Option.map
       (fun rc ->
-        Ring.create rc
+        Ring.create ?trace:cfg.trace rc
           {
             Ring.backing_load = Memory.load mem;
             backing_store = Memory.store mem;
@@ -653,6 +674,109 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
     Array.init n (fun c -> Core.create cfg.mach.Mach_config.core (supply_for c));
   t
 
+(* ---- stuck diagnostics ---- *)
+
+(* Full deadlock report: phase and scheduling counters, every worker's
+   context/core state plus its wait targets (expected signal thresholds
+   versus signals actually received, per segment and origin), and the
+   ring's complete snapshot.  This is the payload of [Stuck]: when a
+   16-core run wedges, the answer is almost always in the one node or
+   worker a partial dump would have omitted. *)
+let received_for t ~core ~seg ~origin =
+  match t.ring with
+  | Some r -> Ring.signals_received r ~node:core ~seg ~origin
+  | None -> (
+      match Hashtbl.find_opt t.conv_signals (seg, origin) with
+      | Some l -> List.length !l
+      | None -> 0)
+
+let stuck_report t ~reason =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b ("HELIX-RC stuck: " ^ reason ^ "\n");
+  (match t.phase with
+  | Serial ->
+      Buffer.add_string b
+        (Printf.sprintf "  phase: serial (serial ctx %s)\n"
+           (match Context.status t.serial_ctx with
+           | Context.Running -> "running"
+           | Context.Blocked -> "blocked-on-shared-load"
+           | Context.Suspended _ -> "suspended"
+           | Context.Finished _ -> "finished"))
+  | Parallel ps ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  phase: parallel loop %d entered @%d: started=%d finished=%d \
+            executed=%d trip=%s%s\n"
+           ps.ps_pl.Parallel_loop.pl_id ps.ps_entry_cycle ps.ps_started
+           ps.ps_finished ps.ps_executed
+           (match ps.ps_trip with
+           | Some k -> string_of_int k
+           | None -> "?")
+           (if ps.ps_stopped then " stopped" else ""));
+      let segs =
+        List.map
+          (fun (si : Parallel_loop.segment_info) -> si.Parallel_loop.si_id)
+          ps.ps_pl.Parallel_loop.pl_segments
+      in
+      Array.iteri
+        (fun c w ->
+          match w with
+          | None -> ()
+          | Some w ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "  worker %d: local_iter=%d running=%b status=%s\n" c
+                   w.w_local_iter w.w_running_iter
+                   (match Context.status w.w_ctx with
+                   | Context.Running -> "running"
+                   | Context.Blocked -> "blocked-on-shared-load"
+                   | Context.Suspended _ -> "suspended"
+                   | Context.Finished _ -> "finished"));
+              Buffer.add_string b
+                (Printf.sprintf "    core-model: %s\n"
+                   (Core.describe t.cores.(c)));
+              let k = max 0 (w.w_local_iter - 1) in
+              List.iter
+                (fun seg ->
+                  let targets =
+                    List.map
+                      (fun (origin, threshold) ->
+                        let have = received_for t ~core:c ~seg ~origin in
+                        Printf.sprintf "from %d need %d have %d%s" origin
+                          threshold have
+                          (if have >= threshold then "" else " MISSING"))
+                      (wait_thresholds t ~core:c ~local_iter:k)
+                  in
+                  Buffer.add_string b
+                    (Printf.sprintf "    wait targets seg %d (iter %d): %s\n"
+                       seg k
+                       (if targets = [] then "(none: single core)"
+                        else String.concat "; " targets)))
+                segs)
+        t.workers);
+  (match t.ring with
+  | Some r ->
+      Buffer.add_string b "  ring state:\n";
+      Buffer.add_string b (Ring.describe r)
+  | None -> ());
+  Buffer.contents b
+
+(* Structured variant for tooling (attached to traces / dumped by the
+   CLI next to the JSONL trace). *)
+let stuck_snapshot t ~reason : Json.t =
+  let phase_name =
+    match t.phase with Serial -> "serial" | Parallel _ -> "parallel"
+  in
+  Json.Obj
+    ([
+       ("reason", Json.String reason);
+       ("cycle", Json.Int !(t.now));
+       ("phase", Json.String phase_name);
+     ]
+    @ match t.ring with
+      | Some r -> [ ("ring", Ring.snapshot r) ]
+      | None -> [])
+
 (* ---- main loop ---- *)
 
 let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
@@ -663,7 +787,14 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
   let last_retired = ref (-1) in
   while not t.done_ do
     let cycle = !(t.now) in
-    if cycle > t.cfg.fuel then raise (Stuck "cycle fuel exhausted");
+    if cycle > t.cfg.fuel then begin
+      Trace.stuck t.cfg.trace ~cycle ~phase:"fuel";
+      raise
+        (Stuck
+           (stuck_report t
+              ~reason:
+                (Printf.sprintf "cycle fuel exhausted (fuel=%d)" t.cfg.fuel)))
+    end;
     (match t.ring with Some r -> Ring.tick r ~cycle | None -> ());
     Array.iter (fun c -> Core.tick c cycle) t.cores;
     (* progress watchdog *)
@@ -676,40 +807,16 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
       last_retired := retired;
       last_progress := cycle
     end
-    else if cycle - !last_progress > 2_000_000 then begin
-      (* dump a diagnostic picture of every core before dying *)
-      Array.iteri
-        (fun c w ->
-          match w with
-          | Some w ->
-              Printf.eprintf
-                "  [stuck] core %d: local_iter=%d running=%b status=%s\n" c
-                w.w_local_iter w.w_running_iter
-                (match Context.status w.w_ctx with
-                | Context.Running -> "running"
-                | Context.Blocked -> "blocked-on-shared-load"
-                | Context.Suspended _ -> "suspended"
-                | Context.Finished _ -> "finished");
-              Printf.eprintf "          core-model: %s\n"
-                (Core.describe t.cores.(c))
-          | None -> ())
-        t.workers;
-      (match t.phase with
-      | Parallel ps ->
-          Printf.eprintf "  [stuck] started=%d finished=%d trip=%s\n"
-            ps.ps_started ps.ps_finished
-            (match ps.ps_trip with
-            | Some k -> string_of_int k
-            | None -> "?")
-      | Serial -> ());
-      (match t.ring with
-      | Some r -> Printf.eprintf "%s" (Ring.describe r)
-      | None -> ());
-      raise
-        (Stuck
-           (Printf.sprintf "no progress since cycle %d (phase %s)"
-              !last_progress
-              (match t.phase with Serial -> "serial" | Parallel _ -> "parallel")))
+    else if cycle - !last_progress > t.cfg.watchdog_cycles then begin
+      let reason =
+        Printf.sprintf "no retirement progress since cycle %d (now %d)"
+          !last_progress cycle
+      in
+      Trace.stuck t.cfg.trace ~cycle
+        ~phase:(match t.phase with Serial -> "serial" | Parallel _ -> "parallel");
+      Trace.emit t.cfg.trace ~cycle ~kind:"stuck_snapshot"
+        [ ("snapshot", stuck_snapshot t ~reason) ];
+      raise (Stuck (stuck_report t ~reason))
     end;
     (* phase transitions *)
     (match t.phase with
@@ -736,7 +843,32 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
         if parallel_done t ps then end_parallel t ps);
     incr t.now
   done;
+  let metrics =
+    let m = Metrics.create () in
+    let core_stats = Array.map Core.stats t.cores in
+    Array.iteri
+      (fun i s ->
+        Stats.export_metrics ~prefix:(Printf.sprintf "core.%d" i) s m)
+      core_stats;
+    Stats.export_metrics ~prefix:"cores"
+      (Stats.merge (Array.to_list core_stats))
+      m;
+    (match t.ring with Some r -> Ring.export_metrics r m | None -> ());
+    Hierarchy.export_metrics t.hier m;
+    Metrics.set_int m "exec.cycles" !(t.now);
+    Metrics.set_int m "exec.serial_cycles" t.serial_cycles;
+    Metrics.set_int m "exec.parallel_cycles" t.parallel_cycles;
+    Metrics.set_int m "exec.invocations" (List.length t.invocations);
+    Metrics.set_int m "exec.max_outstanding_signals" t.max_outstanding;
+    Metrics.set_int m "exec.retired"
+      (Array.fold_left
+         (fun acc (s : Stats.t) -> acc + s.Stats.retired)
+         0
+         (Array.map Core.stats t.cores));
+    m
+  in
   {
+    r_metrics = metrics;
     r_cycles = !(t.now);
     r_ret = t.ret;
     r_mem = t.mem;

@@ -35,9 +35,15 @@ type config = {
   comm : comm_mode;
   setup_latency : int;            (** parallel-phase entry charge *)
   fuel : int;
+  watchdog_cycles : int;
+      (** cycles without any retirement before the run is declared
+          [Stuck] (default 2M; tests lower it to force cheap wedges) *)
+  trace : Helix_obs.Trace.t option;  (** event trace sink, off by default *)
 }
 
-val default_config : ?ring:bool -> ?comm:comm_mode -> Mach_config.t -> config
+val default_config :
+  ?ring:bool -> ?comm:comm_mode -> ?trace:Helix_obs.Trace.t ->
+  Mach_config.t -> config
 
 type invocation_record = {
   inv_loop : int;
@@ -58,11 +64,18 @@ type result = {
   r_ring_consumers_hist : int array;  (** Figure 4c *)
   r_max_outstanding_signals : int;    (** must stay <= 2 *)
   r_ring_hit_rate : float;
+  r_metrics : Helix_obs.Metrics.t;
+      (** every counter of the run under stable names
+          under the ring./core.<i>./cores./hier./exec. prefixes *)
 }
 
 exception Stuck of string
-(** Raised (with a per-core diagnostic dump on stderr) when no core
-    retires anything for a long interval — a protocol deadlock. *)
+(** Raised when no core retires anything for [watchdog_cycles] — a
+    protocol deadlock.  The payload is a full report: loop/phase
+    scheduling counters, every worker's context state and per-segment
+    wait targets (signals expected vs received from each origin), and
+    the complete ring snapshot (all nodes' signal buffers, lockstep
+    acceptance vectors, link occupancy). *)
 
 val run :
   ?compiled:Hcc.compiled -> config -> Ir.program -> Memory.t -> result

@@ -100,8 +100,8 @@ let parallel ?(cache = true) ~(tag : string) (wl : Workload.t)
 let conventional_cfg ?(mach = Mach_config.default) () =
   Executor.default_config ~ring:false ~comm:Executor.fully_coupled mach
 
-let helix_cfg ?(mach = Mach_config.default) () =
-  Executor.default_config ~ring:true ~comm:Executor.fully_decoupled mach
+let helix_cfg ?(mach = Mach_config.default) ?trace () =
+  Executor.default_config ~ring:true ~comm:Executor.fully_decoupled ?trace mach
 
 (* Conventional run of a version's code (HCCv1/v2 always run here). *)
 let run_conventional wl version =

@@ -50,3 +50,28 @@ let render (t : t) : string =
   Buffer.contents buf
 
 let print t = print_string (render t)
+
+(* Machine-readable form of the same table: each row becomes an object
+   keyed by the header cells (numeric-looking cells stay strings — the
+   header, not this module, knows their units). *)
+let to_json (t : t) : Helix_obs.Json.t =
+  let open Helix_obs in
+  let row_obj row =
+    Json.Obj
+      (List.mapi
+         (fun i cell ->
+           let key =
+             match List.nth_opt t.header i with
+             | Some h when h <> "" -> h
+             | _ -> Printf.sprintf "col%d" i
+           in
+           (key, Json.String cell))
+         row)
+  in
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("header", Json.List (List.map (fun h -> Json.String h) t.header));
+      ("rows", Json.List (List.map row_obj t.rows));
+      ("notes", Json.List (List.map (fun n -> Json.String n) t.notes));
+    ]

@@ -113,3 +113,14 @@ let owner_l1_access t ~core ~cycle ~write addr =
 
 let l1_hit_rate t core = Cache.hit_rate t.l1s.(core)
 let c2c_transfers t = t.c2c_transfers
+
+let export_metrics t (m : Helix_obs.Metrics.t) =
+  let open Helix_obs in
+  Metrics.set_int m "hier.c2c_transfers" t.c2c_transfers;
+  Metrics.set_int m "hier.l2_accesses" t.l2_accesses;
+  Array.iteri
+    (fun core l1 ->
+      Metrics.set_float m
+        (Printf.sprintf "hier.l1.%d.hit_rate" core)
+        (Cache.hit_rate l1))
+    t.l1s

@@ -19,3 +19,7 @@ val owner_l1_access : t -> core:int -> cycle:int -> write:bool -> int -> int
 
 val l1_hit_rate : t -> int -> float
 val c2c_transfers : t -> int
+
+val export_metrics : t -> Helix_obs.Metrics.t -> unit
+(** Publish directory/L2 counters and per-core L1 hit rates under
+    ["hier."]. *)

@@ -76,6 +76,26 @@ let fraction t bucket =
   if t.cycles = 0 then 0.0
   else float_of_int (get t bucket) /. float_of_int t.cycles
 
+(* Publish this accounting under [prefix] ("core.3", "cores", ...).  The
+   bucket fractions exported here are exactly what [pp] prints, so a
+   metrics dump and the legacy text path can be cross-checked. *)
+let export_metrics ~prefix t (m : Helix_obs.Metrics.t) =
+  let open Helix_obs in
+  let key k = prefix ^ "." ^ k in
+  Metrics.set_int m (key "cycles") t.cycles;
+  Metrics.set_int m (key "retired") t.retired;
+  Metrics.set_int m (key "retired_sync") t.retired_sync;
+  Metrics.set_int m (key "shared_loads") t.shared_loads;
+  Metrics.set_int m (key "shared_stores") t.shared_stores;
+  Metrics.set_float m (key "ipc")
+    (if t.cycles = 0 then 0.0
+     else float_of_int t.retired /. float_of_int t.cycles);
+  List.iter
+    (fun b ->
+      Metrics.set_int m (key ("bucket." ^ bucket_name b)) (get t b);
+      Metrics.set_float m (key ("frac." ^ bucket_name b)) (fraction t b))
+    all_buckets
+
 let pp ppf t =
   Format.fprintf ppf "cycles=%d retired=%d ipc=%.2f" t.cycles t.retired
     (if t.cycles = 0 then 0.0

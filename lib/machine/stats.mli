@@ -27,4 +27,10 @@ val charge : t -> bucket -> unit
 val get : t -> bucket -> int
 val merge : t list -> t
 val fraction : t -> bucket -> float
+
+val export_metrics : prefix:string -> t -> Helix_obs.Metrics.t -> unit
+(** Publish cycles, retirement counters, IPC and the per-bucket counts
+    and fractions under [prefix ^ "."] — the same fractions [pp]
+    prints. *)
+
 val pp : Format.formatter -> t -> unit

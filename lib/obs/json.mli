@@ -1,0 +1,37 @@
+(** A minimal JSON tree, encoder and parser.
+
+    The observability layer needs machine-readable output (metrics dumps,
+    JSONL traces) without pulling a JSON dependency into the simulator;
+    this module covers exactly the subset the obs layer produces: finite
+    numbers, strings with standard escapes, arrays and objects.  The
+    parser exists so traces round-trip in tests and so external tools'
+    output can be re-read by follow-up tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Floats are printed with enough
+    digits to round-trip; non-finite floats degrade to [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; [Error msg] carries the byte offset. *)
+
+val of_string_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+(** {1 Accessors} (total: return [None] / default on shape mismatch) *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality with object fields compared order-insensitively. *)

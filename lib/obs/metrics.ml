@@ -1,0 +1,57 @@
+(* Named-metric registry.  Publishing is pull-style: components keep
+   their own counters and copy them in at export time, so the registry
+   costs nothing on simulator hot paths. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Hist of int array
+
+type t = { tbl : (string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let set_int t name v = Hashtbl.replace t.tbl name (Int v)
+let set_float t name v = Hashtbl.replace t.tbl name (Float v)
+let set_hist t name a = Hashtbl.replace t.tbl name (Hist (Array.copy a))
+
+let add_int t name by =
+  let cur =
+    match Hashtbl.find_opt t.tbl name with Some (Int i) -> i | _ -> 0
+  in
+  Hashtbl.replace t.tbl name (Int (cur + by))
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let find_int t name =
+  match find t name with Some (Int i) -> Some i | _ -> None
+
+let find_float t name =
+  match find t name with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+let json_of_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Hist a -> Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let to_json t =
+  Json.Obj
+    (List.map (fun n -> (n, json_of_value (Hashtbl.find t.tbl n))) (names t))
+
+let pp ppf t =
+  List.iter
+    (fun n ->
+      match Hashtbl.find t.tbl n with
+      | Int i -> Format.fprintf ppf "%s = %d@." n i
+      | Float f -> Format.fprintf ppf "%s = %.6g@." n f
+      | Hist a ->
+          Format.fprintf ppf "%s = [%s]@." n
+            (String.concat "; "
+               (Array.to_list (Array.map string_of_int a))))
+    (names t)

@@ -1,0 +1,40 @@
+(** A registry of named metrics with one JSON / pretty export.
+
+    The simulator's components (ring, caches, per-core stats, executor)
+    each keep cheap mutable counters on their hot paths; at report time
+    they {e publish} current values into a registry under dotted names
+    ([ring.hit_rate], [core.3.frac.busy], ...).  One registry per run
+    gives a single machine-readable dump, in the spirit of XIOSim's and
+    DRAMSim2's structured stat output. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Hist of int array  (** ordered buckets, e.g. the Figure-4 histograms *)
+
+type t
+
+val create : unit -> t
+
+val set_int : t -> string -> int -> unit
+val set_float : t -> string -> float -> unit
+val set_hist : t -> string -> int array -> unit
+(** The array is copied. *)
+
+val add_int : t -> string -> int -> unit
+(** Accumulate into an [Int] metric (creates it at 0). *)
+
+val find : t -> string -> value option
+val find_int : t -> string -> int option
+val find_float : t -> string -> float option
+(** [find_float] also widens an [Int]. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val to_json : t -> Json.t
+(** A flat object keyed by metric name, sorted; histograms become
+    arrays. *)
+
+val pp : Format.formatter -> t -> unit
+(** One [name = value] line per metric, sorted. *)

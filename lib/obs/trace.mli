@@ -1,0 +1,75 @@
+(** Ring-buffered structured event trace.
+
+    A [t] holds the most recent [capacity] events of a run; when a
+    wedged simulation has produced millions of stall events, the tail of
+    the buffer is exactly the window around the wedge.  Events are
+    generic (kind + integer cycle + named JSON fields) so the trace
+    layer stays a leaf library; the typed emitters below document the
+    event vocabulary the simulator produces.
+
+    All emitters take a [t option] and are no-ops on [None], so hot
+    paths pay one branch when tracing is off. *)
+
+type event = {
+  ev_cycle : int;
+  ev_kind : string;
+  ev_fields : (string * Json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 events. *)
+
+val emit : t option -> cycle:int -> kind:string -> (string * Json.t) list -> unit
+
+val events : t -> event list
+(** Oldest first (at most [capacity]). *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Events evicted by the ring buffer since creation. *)
+
+val clear : t -> unit
+
+(** {1 JSONL encoding}
+
+    One event per line: [{"c":<cycle>,"k":"<kind>", <fields...>}].
+    Field names ["c"] and ["k"] are reserved. *)
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+val event_of_line : string -> (event, string) result
+val to_jsonl : t -> string
+val write_jsonl : t -> out_channel -> unit
+
+(** {1 Typed emitters (the simulator's event vocabulary)} *)
+
+val store_inject :
+  t option -> cycle:int -> node:int -> addr:int -> value:int -> seq:int -> unit
+
+val signal_inject :
+  t option -> cycle:int -> node:int -> seg:int -> seq:int -> barrier:int -> unit
+
+val inject_blocked : t option -> cycle:int -> node:int -> cls:string -> unit
+(** Injection queue full; [cls] is ["data"] or ["sig"]. *)
+
+val lockstep_hold :
+  t option ->
+  cycle:int -> node:int -> origin:int -> barrier:int -> applied:int -> unit
+(** A signal held at [node] until [origin]'s store [barrier] lands. *)
+
+val backpressure : t option -> cycle:int -> node:int -> cls:string -> unit
+(** Forwarding stalled on exhausted link credits. *)
+
+val wait_complete :
+  t option -> cycle:int -> core:int -> seg:int -> iter:int -> unit
+
+val loop_enter : t option -> cycle:int -> loop:int -> trip:int option -> unit
+
+val loop_flush :
+  t option ->
+  cycle:int -> loop:int -> iterations:int -> span:int -> flush_latency:int -> unit
+
+val stuck : t option -> cycle:int -> phase:string -> unit

@@ -87,6 +87,7 @@ type node = {
 type t = {
   cfg : config;
   env : env;
+  trace : Helix_obs.Trace.t option;
   nodes : node array;
   links_data : (int * Msg.t) Queue.t array; (* link i: node i -> node i+1 *)
   links_sig : (int * Msg.t) Queue.t array;
@@ -105,10 +106,11 @@ type t = {
          stores can invalidate stale copies cheaply *)
 }
 
-let create (cfg : config) (env : env) : t =
+let create ?trace (cfg : config) (env : env) : t =
   {
     cfg;
     env;
+    trace;
     nodes =
       Array.init cfg.n_nodes (fun id ->
           {
@@ -172,6 +174,7 @@ let try_store t ~node ~addr ~value ~cycle =
   let n = t.nodes.(node) in
   if Queue.length n.inject_data >= t.cfg.inject_capacity then begin
     t.blocked_injections <- t.blocked_injections + 1;
+    Helix_obs.Trace.inject_blocked t.trace ~cycle ~node ~cls:"data";
     false
   end
   else begin
@@ -190,6 +193,7 @@ let try_store t ~node ~addr ~value ~cycle =
     Queue.add
       (cycle + t.cfg.injection_latency, Msg.Data { addr; value }, seq)
       n.inject_data;
+    Helix_obs.Trace.store_inject t.trace ~cycle ~node ~addr ~value ~seq;
     true
   end
 
@@ -197,6 +201,7 @@ let try_signal t ~node ~seg ~cycle =
   let n = t.nodes.(node) in
   if Queue.length n.inject_sig >= t.cfg.inject_capacity then begin
     t.blocked_injections <- t.blocked_injections + 1;
+    Helix_obs.Trace.inject_blocked t.trace ~cycle ~node ~cls:"sig";
     false
   end
   else begin
@@ -207,6 +212,8 @@ let try_signal t ~node ~seg ~cycle =
         Msg.Sig { seg; barrier = n.last_accepted_data },
         seq )
       n.inject_sig;
+    Helix_obs.Trace.signal_inject t.trace ~cycle ~node ~seg ~seq
+      ~barrier:n.last_accepted_data;
     true
   end
 
@@ -260,6 +267,12 @@ let load t ~node ~addr ~cycle =
    [origin]?  (The executor derives thresholds from iteration indices.) *)
 let signals_satisfied t ~node ~seg ~origin ~threshold =
   Signal_buffer.satisfied t.nodes.(node).sigbuf ~seg ~origin ~threshold
+
+(* Pure query for diagnostics: unlike [signals_satisfied] it does not
+   advance the consumed-threshold accounting, so report code can probe
+   buffers without perturbing the outstanding-signal statistics. *)
+let signals_received t ~node ~seg ~origin =
+  Signal_buffer.received t.nodes.(node).sigbuf ~seg ~origin
 
 let max_outstanding_signals t =
   Array.fold_left
@@ -339,16 +352,27 @@ let tick t ~cycle =
   deliver t.links_sig (fun n -> n.in_sig);
   (* 2. per node and per class: forward ring traffic with priority over
      local injection; the two classes use dedicated wires *)
-  let run_class (n : node) in_q inject_q links in_of budget0 ~greedy_inject =
+  let run_class (n : node) in_q inject_q links in_of budget0 ~greedy_inject
+      ~cls =
     let budget = ref budget0 in
     let forwarded_any = ref false in
     let continue_ = ref true in
     while !continue_ && !budget > 0 && not (Queue.is_empty in_q) do
       let msg = Queue.peek in_q in
       let travels_on = succ t n.id <> msg.Msg.origin in
-      if not (lockstep_ok n msg) then continue_ := false
-      else if travels_on && link_free_space t links in_of n.id <= 0 then
+      if not (lockstep_ok n msg) then begin
+        (match msg.Msg.payload with
+        | Msg.Sig { barrier; _ } ->
+            Helix_obs.Trace.lockstep_hold t.trace ~cycle ~node:n.id
+              ~origin:msg.Msg.origin ~barrier
+              ~applied:n.applied_data.(msg.Msg.origin)
+        | Msg.Data _ -> ());
+        continue_ := false
+      end
+      else if travels_on && link_free_space t links in_of n.id <= 0 then begin
+        Helix_obs.Trace.backpressure t.trace ~cycle ~node:n.id ~cls;
         continue_ := false (* back-pressure: wait for credits *)
+      end
       else begin
         let msg = Queue.pop in_q in
         let keep = apply_at t n msg in
@@ -376,7 +400,18 @@ let tick t ~cycle =
           ignore (Queue.pop inject_q);
           decr budget;
           if t.cfg.n_nodes > 1 then send t msg n.id ~cycle
-          else t.messages_retired <- t.messages_retired + 1;
+          else begin
+            (* degenerate single-node ring: the message retires at its
+               own origin without travelling, but a signal must still
+               land in the local sigbuf or it vanishes from the
+               outstanding-signal accounting and from deadlock reports
+               (data was already applied locally at acceptance) *)
+            (match payload with
+            | Msg.Sig { seg; _ } ->
+                Signal_buffer.record n.sigbuf ~seg ~origin:n.id
+            | Msg.Data _ -> ());
+            t.messages_retired <- t.messages_retired + 1
+          end;
           n.injected <- n.injected + 1
         end
       done
@@ -386,10 +421,11 @@ let tick t ~cycle =
     (fun n ->
       if cycle >= n.stall_until then begin
         run_class n n.in_data n.inject_data t.links_data
-          (fun nd -> nd.in_data) t.cfg.data_bandwidth ~greedy_inject:false;
+          (fun nd -> nd.in_data) t.cfg.data_bandwidth ~greedy_inject:false
+          ~cls:"data";
         run_class n n.in_sig n.inject_sig t.links_sig
           (fun nd -> nd.in_sig) t.cfg.signal_bandwidth
-          ~greedy_inject:t.cfg.greedy_sig_inject
+          ~greedy_inject:t.cfg.greedy_sig_inject ~cls:"sig"
       end)
     t.nodes
 
@@ -447,54 +483,138 @@ let flush t ~cycle =
   let max_share = Array.fold_left max 0 per_node in
   if dirty = 0 then 1 else 2 * max_share |> max 1
 
-(* Diagnostic dump for deadlock reports. *)
+(* Diagnostic dump for deadlock reports: every node unconditionally (a
+   16-core wedge is usually caused by one of the nodes an abbreviated
+   dump would omit), with sigbuf contents, queue occupancy, lockstep
+   state and per-link occupancy. *)
 let describe t =
-  let b = Buffer.create 256 in
-  Array.iteri
-    (fun i n ->
-      if i <= 2 then
-        Buffer.add_string b
-          (Printf.sprintf "    node %d sigbuf:%s\n" i
-             (Signal_buffer.dump n.sigbuf)))
-    t.nodes;
+  let b = Buffer.create 1024 in
   Array.iter
     (fun n ->
-      if
-        not
-          (Queue.is_empty n.in_data && Queue.is_empty n.in_sig
-          && Queue.is_empty n.inject_data
-          && Queue.is_empty n.inject_sig)
-      then
-        Buffer.add_string b
-          (Printf.sprintf
-             "    node %d: in_data=%d in_sig=%d injd=%d injs=%d stall=%d\n"
-             n.id (Queue.length n.in_data) (Queue.length n.in_sig)
-             (Queue.length n.inject_data)
-             (Queue.length n.inject_sig)
-             n.stall_until))
+      Buffer.add_string b
+        (Printf.sprintf
+           "    node %d: sigbuf:%s\n\
+           \      in_data=%d in_sig=%d injd=%d injs=%d stall=%d \
+            last_acc=%d applied=[%s]\n"
+           n.id
+           (let d = Signal_buffer.dump n.sigbuf in
+            if d = "" then " (empty)" else d)
+           (Queue.length n.in_data) (Queue.length n.in_sig)
+           (Queue.length n.inject_data)
+           (Queue.length n.inject_sig)
+           n.stall_until n.last_accepted_data
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int n.applied_data)))))
     t.nodes;
-  Array.iteri
-    (fun i l ->
-      if not (Queue.is_empty l) then
-        Buffer.add_string b
-          (Printf.sprintf "    link_data %d: %d msgs (head %s)\n" i
-             (Queue.length l)
-             (let _, m = Queue.peek l in
-              Format.asprintf "%a" Msg.pp m)))
-    t.links_data;
-  Array.iteri
-    (fun i l ->
-      if not (Queue.is_empty l) then
-        Buffer.add_string b
-          (Printf.sprintf "    link_sig %d: %d msgs (head %s)\n" i
-             (Queue.length l)
-             (let _, m = Queue.peek l in
-              Format.asprintf "%a" Msg.pp m)))
-    t.links_sig;
+  let dump_links name links =
+    Array.iteri
+      (fun i l ->
+        if not (Queue.is_empty l) then
+          Buffer.add_string b
+            (Printf.sprintf "    %s %d->%d: %d msgs (head %s)\n" name i
+               (succ t i) (Queue.length l)
+               (let arrival, m = Queue.peek l in
+                Format.asprintf "%a@%d" Msg.pp m arrival)))
+      links
+  in
+  dump_links "link_data" t.links_data;
+  dump_links "link_sig" t.links_sig;
   Buffer.contents b
+
+(* Structured form of [describe] for machine-readable stuck reports. *)
+let snapshot t : Helix_obs.Json.t =
+  let open Helix_obs in
+  let queue_msgs q =
+    Json.List
+      (Queue.fold
+         (fun acc (m : Msg.t) ->
+           Json.String (Format.asprintf "%a" Msg.pp m) :: acc)
+         [] q
+      |> List.rev)
+  in
+  let node_json (n : node) =
+    Json.Obj
+      [
+        ("id", Json.Int n.id);
+        ("stall_until", Json.Int n.stall_until);
+        ("forwarded", Json.Int n.forwarded);
+        ("injected", Json.Int n.injected);
+        ("last_accepted_data", Json.Int n.last_accepted_data);
+        ( "applied_data",
+          Json.List
+            (Array.to_list (Array.map (fun s -> Json.Int s) n.applied_data)) );
+        ("in_data", queue_msgs n.in_data);
+        ("in_sig", queue_msgs n.in_sig);
+        ("inject_data_len", Json.Int (Queue.length n.inject_data));
+        ("inject_sig_len", Json.Int (Queue.length n.inject_sig));
+        ( "sigbuf",
+          Json.List
+            (List.map
+               (fun ((seg, origin), received, consumed) ->
+                 Json.Obj
+                   [
+                     ("seg", Json.Int seg);
+                     ("origin", Json.Int origin);
+                     ("received", Json.Int received);
+                     ("consumed", Json.Int consumed);
+                   ])
+               (Signal_buffer.entries n.sigbuf)) );
+      ]
+  in
+  let link_json links =
+    Json.List
+      (Array.to_list
+         (Array.mapi
+            (fun i (l : (int * Msg.t) Queue.t) ->
+              Json.Obj
+                [
+                  ("from", Json.Int i);
+                  ("to", Json.Int (succ t i));
+                  ("occupancy", Json.Int (Queue.length l));
+                  ( "head",
+                    if Queue.is_empty l then Json.Null
+                    else
+                      let arrival, m = Queue.peek l in
+                      Json.Obj
+                        [
+                          ("arrival", Json.Int arrival);
+                          ("msg", Json.String (Format.asprintf "%a" Msg.pp m));
+                        ] );
+                ])
+            links))
+  in
+  Json.Obj
+    [
+      ("n_nodes", Json.Int t.cfg.n_nodes);
+      ("next_seq", Json.Int t.next_seq);
+      ("ring_hits", Json.Int t.ring_hits);
+      ("ring_misses", Json.Int t.ring_misses);
+      ("blocked_injections", Json.Int t.blocked_injections);
+      ("messages_retired", Json.Int t.messages_retired);
+      ("nodes", Json.List (Array.to_list (Array.map node_json t.nodes)));
+      ("links_data", link_json t.links_data);
+      ("links_sig", link_json t.links_sig);
+    ]
 
 let dist_histogram t = Array.copy t.dist_hist
 let consumers_histogram t = Array.copy t.consumers_hist
 let ring_hit_rate t =
   let tot = t.ring_hits + t.ring_misses in
   if tot = 0 then 1.0 else float_of_int t.ring_hits /. float_of_int tot
+
+(* Publish the ring's counters under "ring." in a metrics registry. *)
+let export_metrics t (m : Helix_obs.Metrics.t) =
+  let open Helix_obs in
+  Metrics.set_int m "ring.hits" t.ring_hits;
+  Metrics.set_int m "ring.misses" t.ring_misses;
+  Metrics.set_float m "ring.hit_rate" (ring_hit_rate t);
+  Metrics.set_int m "ring.blocked_injections" t.blocked_injections;
+  Metrics.set_int m "ring.messages_retired" t.messages_retired;
+  Metrics.set_int m "ring.next_seq" t.next_seq;
+  Metrics.set_hist m "ring.dist_hist" t.dist_hist;
+  Metrics.set_hist m "ring.consumers_hist" t.consumers_hist;
+  Metrics.set_int m "ring.forwarded"
+    (Array.fold_left (fun acc n -> acc + n.forwarded) 0 t.nodes);
+  Metrics.set_int m "ring.injected"
+    (Array.fold_left (fun acc n -> acc + n.injected) 0 t.nodes);
+  Metrics.set_int m "ring.max_outstanding_signals" (max_outstanding_signals t)

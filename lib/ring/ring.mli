@@ -39,7 +39,11 @@ type env = {
 
 type t
 
-val create : config -> env -> t
+val create : ?trace:Helix_obs.Trace.t -> config -> env -> t
+(** [?trace] enables structured event tracing (injections, blocked
+    injections, lockstep holds, back-pressure stalls) into the given
+    ring buffer; omitted, the hot paths pay one branch per event
+    site. *)
 
 (** {1 Core-facing operations} *)
 
@@ -57,6 +61,11 @@ val load : t -> node:int -> addr:int -> cycle:int -> int * int
 
 val signals_satisfied :
   t -> node:int -> seg:int -> origin:int -> threshold:int -> bool
+
+val signals_received : t -> node:int -> seg:int -> origin:int -> int
+(** Pure diagnostic query: how many signals has [node] received for
+    [(seg, origin)]?  Unlike {!signals_satisfied} it never touches the
+    consumed-threshold accounting, so report code can probe freely. *)
 
 val max_outstanding_signals : t -> int
 (** For asserting the compiler's ≤2 in-flight-signals bound. *)
@@ -84,4 +93,13 @@ val flush : t -> cycle:int -> int
 val dist_histogram : t -> int array
 val consumers_histogram : t -> int array
 val ring_hit_rate : t -> float
+
 val describe : t -> string
+(** Complete diagnostic dump: {e every} node's sigbuf, queue occupancy
+    and lockstep state, plus every occupied link. *)
+
+val snapshot : t -> Helix_obs.Json.t
+(** Structured form of {!describe} for machine-readable stuck reports. *)
+
+val export_metrics : t -> Helix_obs.Metrics.t -> unit
+(** Publish the ring's counters and histograms under ["ring."]. *)

@@ -45,9 +45,17 @@ let reset t =
 
 let max_outstanding t = t.max_outstanding
 
-let dump t =
+let entries t =
   Hashtbl.fold
-    (fun (seg, origin) c acc ->
+    (fun ((seg, origin) as k) c acc ->
+      let cons = try Hashtbl.find t.consumed k with Not_found -> 0 in
+      ((seg, origin), c, cons) :: acc)
+    t.counts []
+  |> List.sort compare
+
+let dump t =
+  List.fold_left
+    (fun acc ((seg, origin), c, _) ->
       acc ^ Printf.sprintf " (seg%d,from%d)=%d" seg origin c)
-    t.counts ""
+    "" (entries t)
 

@@ -14,3 +14,8 @@ val satisfied : t -> seg:int -> origin:int -> threshold:int -> bool
 val reset : t -> unit
 val max_outstanding : t -> int
 val dump : t -> string
+
+val entries : t -> ((int * int) * int * int) list
+(** [((seg, origin), received, consumed)] for every pair that has
+    received at least one signal, sorted — the structured form of [dump]
+    used by deadlock reports and snapshots. *)

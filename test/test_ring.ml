@@ -260,6 +260,121 @@ let ring_tests =
         check Alcotest.int "a value with 2 consumers" 1 cons.(2));
   ]
 
+(* ---- diagnostics and degenerate-ring regressions ----------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let regression_tests =
+  [
+    tc "describe covers every node, not just the first three" (fun () ->
+        (* regression: the old dump stopped printing sigbufs at node 2,
+           hiding the state of the nodes that usually cause the wedge *)
+        let r = mk_ring ~n:6 () in
+        ignore (Ring.try_signal r ~node:5 ~seg:1 ~cycle:0);
+        tick_n r ~from:0 30;
+        let d = Ring.describe r in
+        for node = 0 to 5 do
+          Alcotest.(check bool) (Fmt.str "node %d present" node) true
+            (contains d (Fmt.str "node %d:" node))
+        done;
+        (* node 0 received the signal; its sigbuf must be visible *)
+        Alcotest.(check bool) "a recorded signal is printed" true
+          (contains d "(seg1,from5)=1"));
+    tc "single-node ring records its own signals" (fun () ->
+        (* regression: with n_nodes=1 injected signals were retired
+           without ever reaching the node's signal buffer, so a 1-core
+           parallel loop could wait forever on its own signal *)
+        let r = mk_ring ~n:1 () in
+        ignore (Ring.try_signal r ~node:0 ~seg:2 ~cycle:0);
+        tick_n r ~from:0 5;
+        check Alcotest.int "received by itself" 1
+          (Ring.signals_received r ~node:0 ~seg:2 ~origin:0);
+        Alcotest.(check bool) "satisfied" true
+          (Ring.signals_satisfied r ~node:0 ~seg:2 ~origin:0 ~threshold:1));
+    tc "single-node ring applies its own stores" (fun () ->
+        let r = mk_ring ~n:1 () in
+        Alcotest.(check bool) "accepted" true
+          (Ring.try_store r ~node:0 ~addr:8 ~value:3 ~cycle:0);
+        tick_n r ~from:0 5;
+        check Alcotest.int "readable" 3 (fst (Ring.load r ~node:0 ~addr:8 ~cycle:6));
+        Alcotest.(check bool) "drained" true (Ring.data_drained r));
+    tc "signals_received does not consume" (fun () ->
+        (* the diagnostic accessor must be pure: probing a node's buffer
+           while building a stuck report must not change satisfaction *)
+        let r = mk_ring () in
+        ignore (Ring.try_signal r ~node:1 ~seg:0 ~cycle:0);
+        tick_n r ~from:0 20;
+        for _ = 1 to 3 do
+          check Alcotest.int "stable" 1
+            (Ring.signals_received r ~node:3 ~seg:0 ~origin:1)
+        done;
+        Alcotest.(check bool) "still satisfied" true
+          (Ring.signals_satisfied r ~node:3 ~seg:0 ~origin:1 ~threshold:1));
+    tc "lockstep still holds for traffic after a flush" (fun () ->
+        (* regression guard for the post-flush barrier reset: flush
+           refills applied_data with next_seq-1; stores injected by the
+           next loop get higher sequence numbers, so their guarding
+           signals must still be held until the data lands *)
+        let r = mk_ring ~n:8 () in
+        ignore (Ring.try_store r ~node:0 ~addr:64 ~value:1 ~cycle:0);
+        ignore (Ring.try_signal r ~node:0 ~seg:0 ~cycle:0);
+        tick_n r ~from:0 60;
+        ignore (Ring.flush r ~cycle:60);
+        (* second "loop": same shape, new values *)
+        for k = 0 to 6 do
+          ignore
+            (Ring.try_store r ~node:0 ~addr:(64 + k) ~value:(100 + k)
+               ~cycle:61)
+        done;
+        ignore (Ring.try_signal r ~node:0 ~seg:0 ~cycle:61);
+        for cycle = 61 to 140 do
+          Ring.tick r ~cycle;
+          List.iter
+            (fun node ->
+              if Ring.signals_satisfied r ~node ~seg:0 ~origin:0 ~threshold:1
+              then
+                check Alcotest.int
+                  (Fmt.str "node %d cycle %d post-flush guarded value" node
+                     cycle)
+                  106
+                  (fst (Ring.load r ~node ~addr:70 ~cycle)))
+            [ 1; 4; 7 ]
+        done);
+    tc "snapshot mirrors describe structurally" (fun () ->
+        let r = mk_ring ~n:4 () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:1 ~cycle:0);
+        ignore (Ring.try_signal r ~node:1 ~seg:0 ~cycle:0);
+        tick_n r ~from:0 20;
+        match Ring.snapshot r with
+        | Helix_obs.Json.Obj fields ->
+            (match List.assoc_opt "nodes" fields with
+            | Some (Helix_obs.Json.List nodes) ->
+                check Alcotest.int "one entry per node" 4 (List.length nodes)
+            | _ -> Alcotest.fail "nodes list missing");
+            Alcotest.(check bool) "links present" true
+              (List.mem_assoc "links_data" fields
+              && List.mem_assoc "links_sig" fields)
+        | _ -> Alcotest.fail "snapshot is not an object");
+    tc "export_metrics agrees with accessors" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:1 ~cycle:0);
+        tick_n r ~from:0 20;
+        ignore (Ring.load r ~node:2 ~addr:8 ~cycle:21);
+        let m = Helix_obs.Metrics.create () in
+        Ring.export_metrics r m;
+        check
+          Alcotest.(option (float 1e-9))
+          "hit rate" (Some (Ring.ring_hit_rate r))
+          (Helix_obs.Metrics.find_float m "ring.hit_rate");
+        match Helix_obs.Metrics.find m "ring.dist_hist" with
+        | Some (Helix_obs.Metrics.Hist h) ->
+            check Alcotest.(array int) "dist hist" (Ring.dist_histogram r) h
+        | _ -> Alcotest.fail "ring.dist_hist missing");
+  ]
+
 (* property: random store traffic always drains and, for single-writer
    addresses (the compiler's segment ordering guarantees there are no
    unsynchronized multi-writer races), the last store is what every node
@@ -311,5 +426,6 @@ let () =
       ("signal-buffer", signal_tests);
       ("owner", owner_tests);
       ("ring", ring_tests);
+      ("regressions", regression_tests);
       ("properties", props);
     ]

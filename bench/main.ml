@@ -113,6 +113,61 @@ let bench_tests =
                     ~value:c ~cycle:c);
              Helix_ring.Ring.tick r ~cycle:c
            done));
+    Test.make ~name:"ring: 10k jittered ticks with traffic"
+      (Staged.stage (fun () ->
+           (* same traffic as above under seeded perturbation: the cost
+              of the fault-injection hash on the hot path *)
+           let backing = Hashtbl.create 16 in
+           let r =
+             Helix_ring.Ring.create
+               {
+                 (Helix_ring.Ring.default_config ~n_nodes:16) with
+                 Helix_ring.Ring.perturb =
+                   Some (Helix_ring.Ring.perturbed ~seed:42 ());
+               }
+               {
+                 Helix_ring.Ring.backing_load =
+                   (fun a -> try Hashtbl.find backing a with Not_found -> 0);
+                 backing_store = (fun a v -> Hashtbl.replace backing a v);
+                 owner_l1_latency =
+                   (fun ~core:_ ~cycle:_ ~write:_ ~addr:_ -> 3);
+               }
+           in
+           for c = 0 to 9_999 do
+             if c land 7 = 0 then
+               ignore
+                 (Helix_ring.Ring.try_store r ~node:(c land 15)
+                    ~addr:(64 + (c land 63))
+                    ~value:c ~cycle:c);
+             Helix_ring.Ring.tick r ~cycle:c
+           done));
+    Test.make ~name:"depcheck: 100k recorded accesses"
+      (Staged.stage (fun () ->
+           let d = Depcheck.create () in
+           for i = 0 to 99_999 do
+             Depcheck.record d ~core:(i land 15) ~iter:(i lsr 4)
+               ~seg:(if i land 3 = 0 then Some (i land 7) else None)
+               ~addr:((i * 13) land 4095)
+               ~write:(i land 3 = 0)
+           done;
+           ignore (Depcheck.violations d)));
+    Test.make ~name:"executor: gzip invocation with oracle+sanitizer"
+      (Staged.stage (fun () ->
+           let wl = Registry.find "164.gzip" in
+           let s = wl.Workload.build () in
+           let compiled =
+             Hcc.compile
+               (Hcc_config.v3 ())
+               s.Workload.prog s.Workload.layout
+               ~train_mem:(s.Workload.init Workload.Train)
+           in
+           ignore
+             (Executor.run ~compiled
+                (Executor.default_config ~ring:true
+                   ~comm:Executor.fully_decoupled ~robust:Executor.checked
+                   Mach_config.default)
+                compiled.Hcc.cp_prog
+                (s.Workload.init Workload.Ref))));
     Test.make ~name:"cache: 100k L1 accesses"
       (Staged.stage (fun () ->
            let c = Helix_machine.Cache.create Mach_config.default_l1 in

@@ -215,17 +215,49 @@ let open_sink = function
   | Some file -> (
       try Ok (Some (file, open_out file)) with Sys_error m -> Error m)
 
-(* HELIX-RC run honouring --trace: a traced run bypasses the memo cache
-   (the cached result has no events attached). *)
-let run_helix_obs wl ~traced =
-  if not traced then (Exp_common.run_helix wl Exp_common.V3, None)
+(* ---- robustness options (ISSUE 2) ---- *)
+
+let check_arg =
+  let doc =
+    "Enable the robustness layer: shadow-execute each parallel invocation \
+     sequentially and compare (differential oracle), sanitize worker memory \
+     accesses for unguarded loop-carried dependences, and degrade gracefully \
+     -- a violating or wedged invocation is rolled back to its entry \
+     checkpoint and re-executed sequentially.  Exits nonzero if the final \
+     result still differs from the sequential oracle."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let strict_arg =
+  let doc =
+    "With $(b,--check): make violations fatal (exit code 12) instead of \
+     falling back to sequential re-execution."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let jitter_arg =
+  let doc =
+    "Fault injection: perturb ring link/injection/signal latencies with \
+     bounded jitter deterministically derived from $(docv).  Architectural \
+     results must be invariant under any seed."
+  in
+  Arg.(value & opt (some int) None & info [ "jitter" ] ~docv:"SEED" ~doc)
+
+(* HELIX-RC run honouring --trace/--check/--strict/--jitter: any of them
+   bypasses the memo cache (the cached result has no events attached and
+   was produced under the unperturbed, unchecked configuration). *)
+let run_helix_obs wl ~trace ~check ~strict ~jitter =
+  let robust =
+    if strict then
+      Some { Executor.checked with Executor.strict = true; fallback = false }
+    else if check then Some Executor.checked
+    else None
+  in
+  if trace = None && robust = None && jitter = None then
+    Exp_common.run_helix wl Exp_common.V3
   else
-    let tr = Helix_obs.Trace.create () in
-    let r =
-      Exp_common.parallel ~cache:false ~tag:"helix-traced" wl Exp_common.V3
-        (Exp_common.helix_cfg ~trace:tr ())
-    in
-    (r, Some tr)
+    Exp_common.parallel ~cache:false ~tag:"helix-robust" wl Exp_common.V3
+      (Exp_common.helix_cfg ?trace ?robust ?jitter_seed:jitter ())
 
 let dump_obs (par : Executor.result) ~trace_sink ~metrics_sink trace =
   (match (trace_sink, trace) with
@@ -253,20 +285,50 @@ let run_cmd =
   let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun wl trace_file metrics_file ->
+      const (fun wl trace_file metrics_file check strict jitter ->
           match (open_sink trace_file, open_sink metrics_file) with
           | Error m, _ | _, Error m -> `Error (false, m)
           | Ok trace_sink, Ok metrics_sink ->
               let seq = Exp_common.sequential wl in
-              let par, tr = run_helix_obs wl ~traced:(trace_sink <> None) in
+              let tr =
+                if trace_sink <> None then Some (Helix_obs.Trace.create ())
+                else None
+              in
+              let par =
+                (* on Stuck, flush the trace collected so far: it is the
+                   diagnostic artifact CI uploads *)
+                try run_helix_obs wl ~trace:tr ~check ~strict ~jitter
+                with Executor.Stuck _ as e ->
+                  (match (trace_sink, tr) with
+                  | Some (file, oc), Some t ->
+                      Helix_obs.Trace.write_jsonl t oc;
+                      close_out oc;
+                      Fmt.epr "trace: %d events to %s@."
+                        (Helix_obs.Trace.length t)
+                        file
+                  | _ -> ());
+                  raise e
+              in
+              let ok = Exp_common.verified wl par in
               Fmt.pr "%s: sequential %d cycles; HELIX-RC %d cycles; speedup \
                       %.2fx; oracle %s@."
                 wl.Workload.name seq.Executor.r_cycles par.Executor.r_cycles
                 (Helix.speedup ~seq ~par)
-                (if Exp_common.verified wl par then "OK" else "FAIL");
+                (if ok then "OK" else "FAIL");
+              if check || strict || jitter <> None then
+                Fmt.pr
+                  "robustness: %d violation(s), %d sequential fallback(s)@."
+                  par.Executor.r_violations par.Executor.r_fallbacks;
               dump_obs par ~trace_sink ~metrics_sink tr;
+              if check && not ok then begin
+                Fmt.epr "helix-rc: %s: result differs from the sequential \
+                         oracle@."
+                  wl.Workload.name;
+                Stdlib.exit 1
+              end;
               `Ok ())
-      $ wl $ trace_arg $ metrics_arg |> ret)
+      $ wl $ trace_arg $ metrics_arg $ check_arg $ strict_arg $ jitter_arg
+      |> ret)
 
 let overhead_cmd =
   let doc = "Show the Figure-12 overhead taxonomy for one workload." in
@@ -297,7 +359,13 @@ let stats_cmd =
           match (open_sink trace_file, open_sink metrics_file) with
           | Error m, _ | _, Error m -> `Error (false, m)
           | Ok trace_sink, Ok metrics_sink ->
-          let par, tr = run_helix_obs wl ~traced:(trace_sink <> None) in
+          let tr =
+            if trace_sink <> None then Some (Helix_obs.Trace.create ())
+            else None
+          in
+          let par =
+            run_helix_obs wl ~trace:tr ~check:false ~strict:false ~jitter:None
+          in
           Fmt.pr "%s: %d cycles (%d serial, %d parallel), %d instructions@."
             wl.Workload.name par.Executor.r_cycles
             par.Executor.r_serial_cycles par.Executor.r_parallel_cycles
@@ -345,15 +413,33 @@ let list_cmd =
           `Ok ())
       $ const () |> ret)
 
+(* Exit codes (documented in README): 1 = --check oracle failure,
+   10 = deadlock, 11 = fuel exhausted, 12 = violation under --strict. *)
+let stuck_exit_code = function
+  | Executor.Deadlock -> 10
+  | Executor.Fuel -> 11
+  | Executor.Violation -> 12
+
 let () =
   let doc = "HELIX-RC (ISCA 2014) reproduction" in
   let info = Cmd.info "helix-rc" ~version:"1.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; table1_cmd; fig7_cmd;
-            fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; tlp_cmd;
-            ablations_cmd; all_cmd; compile_cmd; run_cmd; overhead_cmd;
-            stats_cmd; list_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; table1_cmd; fig7_cmd;
+        fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; tlp_cmd;
+        ablations_cmd; all_cmd; compile_cmd; run_cmd; overhead_cmd;
+        stats_cmd; list_cmd;
+      ]
+  in
+  (* ~catch:false so a Stuck simulation reaches this handler instead of
+     dying with a raw backtrace: print the full report to stderr and exit
+     with a reason-specific code *)
+  try exit (Cmd.eval ~catch:false group)
+  with Executor.Stuck (reason, report) ->
+    prerr_string report;
+    if report <> "" && report.[String.length report - 1] <> '\n' then
+      prerr_newline ();
+    Printf.eprintf "helix-rc: simulation stuck (%s)\n%!"
+      (Executor.stuck_reason_name reason);
+    exit (stuck_exit_code reason)

@@ -46,10 +46,16 @@ type t = {
   mutable frames : frame list;   (* innermost first *)
   mutable status : status;
   mutable wait_depth : int;
+  mutable seg_stack : int list;  (* open segments, innermost first *)
   mutable rand_seed : int;
   mutable retired : int;
   (* serial-mode trigger: does (func, header) start a parallel loop? *)
   trigger : (string -> Ir.label -> bool) option;
+  (* dependence-sanitizer tap: observes every IR-level memory access with
+     the segment (if any) it executes under.  Accesses internal to
+     libcalls (strcmp/memchr) are not reported -- they are private-world
+     reads by construction. *)
+  mutable on_mem : (seg:int option -> addr:int -> write:bool -> unit) option;
 }
 
 let create ?(trigger = None) prog mem ~core_id =
@@ -60,9 +66,11 @@ let create ?(trigger = None) prog mem ~core_id =
     frames = [];
     status = Finished None;
     wait_depth = 0;
+    seg_stack = [];
     rand_seed = 0x12345;
     retired = 0;
     trigger;
+    on_mem = None;
   }
 
 let frame_of func args dst_in_caller =
@@ -78,7 +86,19 @@ let start t fname args =
   let f = Ir.find_func t.prog fname in
   t.frames <- [ frame_of f args None ];
   t.status <- Running;
-  t.wait_depth <- 0
+  t.wait_depth <- 0;
+  t.seg_stack <- []
+
+let set_mem_hook t hook = t.on_mem <- hook
+
+(* Innermost open segment, [None] outside any wait..signal window. *)
+let current_segment t =
+  match t.seg_stack with s :: _ -> Some s | [] -> None
+
+let observe_mem t ~addr ~write =
+  match t.on_mem with
+  | None -> ()
+  | Some f -> f ~seg:(current_segment t) ~addr ~write
 
 let status t = t.status
 let wait_depth t = t.wait_depth
@@ -106,7 +126,8 @@ let jump_to t block =
   fr.entered <- true;
   (* a suspended serial context becomes runnable again *)
   (match t.status with Suspended _ -> t.status <- Running | _ -> ());
-  t.wait_depth <- 0
+  t.wait_depth <- 0;
+  t.seg_stack <- []
 
 let token frame_depth r = ((frame_depth land 3) lsl 16) lor (r land 0xffff)
 
@@ -206,6 +227,7 @@ let step (t : t) : Uop.t option =
                     Some (Uop.mk ~srcs ~dst:(token depth r) (Uop.Alu 1))
                 | Ir.Load (r, ad) ->
                     let a = addr_of ad in
+                    observe_mem t ~addr:a ~write:false;
                     if t.wait_depth > 0 then begin
                       (* shared load: value arrives via the sink *)
                       t.status <- Blocked;
@@ -225,6 +247,7 @@ let step (t : t) : Uop.t option =
                 | Ir.Store (ad, v) ->
                     let a = addr_of ad in
                     let v = value v in
+                    observe_mem t ~addr:a ~write:true;
                     if t.wait_depth > 0 then
                       Some (Uop.mk ~srcs (Uop.Shared (Uop.S_store (a, v))))
                     else begin
@@ -244,9 +267,20 @@ let step (t : t) : Uop.t option =
                          (Uop.Alu (lib_latency lc)))
                 | Ir.Wait seg ->
                     t.wait_depth <- t.wait_depth + 1;
+                    t.seg_stack <- seg :: t.seg_stack;
                     Some (Uop.mk (Uop.Shared (Uop.S_wait seg)))
                 | Ir.Signal seg ->
                     t.wait_depth <- max 0 (t.wait_depth - 1);
+                    (* close the matching segment; tolerate unbalanced
+                       (mis-compiled) code by popping the head instead *)
+                    (t.seg_stack <-
+                       (let rec remove = function
+                          | [] -> []
+                          | s :: rest when s = seg -> rest
+                          | s :: rest -> s :: remove rest
+                        in
+                        if List.mem seg t.seg_stack then remove t.seg_stack
+                        else match t.seg_stack with _ :: r -> r | [] -> []));
                     Some (Uop.mk (Uop.Shared (Uop.S_signal seg)))
                 | Ir.Flush -> Some (Uop.mk (Uop.Shared Uop.S_flush))
                 | Ir.Nop -> Some (Uop.mk (Uop.Alu 1))

@@ -34,9 +34,11 @@ type t = {
   mutable frames : frame list;
   mutable status : status;
   mutable wait_depth : int;
+  mutable seg_stack : int list;  (** open segments, innermost first *)
   mutable rand_seed : int;
   mutable retired : int;
   trigger : (string -> Ir.label -> bool) option;
+  mutable on_mem : (seg:int option -> addr:int -> write:bool -> unit) option;
 }
 
 val create :
@@ -51,6 +53,16 @@ val start : t -> string -> int list -> unit
 
 val status : t -> status
 val wait_depth : t -> int
+
+val set_mem_hook :
+  t -> (seg:int option -> addr:int -> write:bool -> unit) option -> unit
+(** Dependence-sanitizer tap: called for every IR-level [Load]/[Store]
+    with the innermost open segment (or [None] outside any wait..signal
+    window).  Libcall-internal reads (strcmp/memchr) are not reported —
+    they are private-world accesses by construction. *)
+
+val current_segment : t -> int option
+(** Innermost open segment of the executing context, if any. *)
 
 val reg_value : t -> Ir.reg -> int
 (** Current frame's register, e.g. to evaluate parallel-loop parameters

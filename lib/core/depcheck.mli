@@ -1,0 +1,42 @@
+(** Dynamic dependence sanitizer: flags cross-iteration conflicting
+    access pairs not ordered by the wait/signal happens-before relation.
+
+    The model: within one parallel invocation, same-core pairs are
+    ordered by program order (a core runs its iterations sequentially),
+    and a cross-core pair is ordered iff both accesses execute under the
+    {e same} sequential segment — segment instances are serialized in
+    iteration order by the wait/signal protocol.  Any other cross-core
+    pair touching the same address with at least one write is a
+    loop-carried dependence the compiler failed to guard. *)
+
+type violation = {
+  v_addr : int;
+  v_seg1 : int option;  (** segment of the earlier access, [None] = unguarded *)
+  v_core1 : int;
+  v_iter1 : int;
+  v_write1 : bool;
+  v_seg2 : int option;  (** segment of the access that tripped the check *)
+  v_core2 : int;
+  v_iter2 : int;
+  v_write2 : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Clear all recorded accesses and violations (per-invocation scope). *)
+
+val record :
+  t -> core:int -> iter:int -> seg:int option -> addr:int -> write:bool -> unit
+(** Record one worker memory access; O(distinct segment keys at [addr]). *)
+
+val violations : t -> int
+(** Conflicting access pairs detected since the last [reset]. *)
+
+val sample_violations : t -> violation list
+(** Up to 8 representative violations, oldest first. *)
+
+val describe_violation : violation -> string
+val summary : t -> string

@@ -41,6 +41,22 @@ let fully_decoupled =
 let fully_coupled =
   { reg_via_ring = false; mem_via_ring = false; sync_via_ring = false }
 
+(* Robustness layer (ISSUE 2).  All checks default off: they cost a
+   memory checkpoint per invocation plus per-access sanitizer work, and
+   the baseline performance experiments must not pay for them. *)
+type robustness = {
+  check_oracle : bool;  (* shadow-execute each invocation sequentially *)
+  sanitize : bool;      (* dynamic dependence + signal-bound checks *)
+  fallback : bool;      (* roll back + re-execute sequentially on trouble *)
+  strict : bool;        (* violations raise [Stuck Violation] instead *)
+}
+
+let no_robustness =
+  { check_oracle = false; sanitize = false; fallback = false; strict = false }
+
+let checked =
+  { check_oracle = true; sanitize = true; fallback = true; strict = false }
+
 type config = {
   mach : Mach_config.t;
   ring_cfg : Ring.config option;
@@ -51,9 +67,11 @@ type config = {
       (* cycles without a single retirement before declaring the run
          stuck; tests lower it to exercise the deadlock report *)
   trace : Trace.t option;
+  robust : robustness;
 }
 
-let default_config ?(ring = true) ?(comm = fully_decoupled) ?trace mach =
+let default_config ?(ring = true) ?(comm = fully_decoupled) ?trace
+    ?(robust = no_robustness) mach =
   {
     mach;
     ring_cfg =
@@ -64,6 +82,7 @@ let default_config ?(ring = true) ?(comm = fully_decoupled) ?trace mach =
     fuel = 400_000_000;
     watchdog_cycles = 2_000_000;
     trace;
+    robust;
   }
 
 type invocation_record = {
@@ -85,12 +104,24 @@ type result = {
   r_ring_consumers_hist : int array;  (* Figure 4c *)
   r_max_outstanding_signals : int;
   r_ring_hit_rate : float;
+  r_fallbacks : int;    (* invocations re-executed sequentially *)
+  r_violations : int;   (* robustness checks tripped *)
   r_metrics : Metrics.t;
       (* every component's counters, published under dotted names
          under the ring./core.<i>./cores./hier./exec. prefixes *)
 }
 
-exception Stuck of string
+(* Why a run died: [Fuel] is the cycle/trip budget, [Deadlock] the
+   no-retirement watchdog, [Violation] a robustness check under
+   [strict] (or one the fallback machinery could not recover from). *)
+type stuck_reason = Fuel | Deadlock | Violation
+
+let stuck_reason_name = function
+  | Fuel -> "fuel"
+  | Deadlock -> "deadlock"
+  | Violation -> "violation"
+
+exception Stuck of stuck_reason * string
 
 (* ------------------------------------------------------------------ *)
 
@@ -117,6 +148,9 @@ type par_state = {
   mutable ps_stopped : bool; (* some iteration returned 0 *)
   ps_start_cycle : int;      (* workers may not start before this *)
   ps_entry_cycle : int;
+  ps_checkpoint : Memory.t option;
+      (* loop-entry memory image (taken before runtime-cell init) when
+         the oracle or the fallback machinery needs a rollback point *)
 }
 
 type phase = Serial | Parallel of par_state
@@ -145,6 +179,12 @@ type t = {
   conv_signals : (int * int, int list ref) Hashtbl.t;
   (* addresses of demoted-register cells, for routing *)
   reg_cells : (int, unit) Hashtbl.t;
+  (* robustness state *)
+  depcheck : Depcheck.t;
+  mutable mk_core : int -> Core.t;   (* for rebuilding cores on fallback *)
+  mutable extra_stats : Stats.t list; (* stats of cores discarded by fallback *)
+  mutable fallbacks : int;
+  mutable violations : int;
 }
 
 let find_loop t ~func ~header =
@@ -386,7 +426,7 @@ let compute_trip (c : Parallel_loop.counted) ~init ~step ~bound =
     | _ -> false
   in
   let rec go k v =
-    if k > 100_000_000 then raise (Stuck "trip count exceeds fuel")
+    if k > 100_000_000 then raise (Stuck (Fuel, "trip count exceeds fuel"))
     else if cmp v then go (k + 1) (v + (c.Parallel_loop.csign * step))
     else k
   in
@@ -428,6 +468,13 @@ let begin_parallel t (pl : Parallel_loop.t) =
       (match trip with Some k -> string_of_int k | None -> "?");
   Trace.loop_enter t.cfg.trace ~cycle:!(t.now) ~loop:pl.Parallel_loop.pl_id
     ~trip;
+  (* rollback point: the memory image before any runtime-cell writes *)
+  let checkpoint =
+    if t.cfg.robust.check_oracle || t.cfg.robust.fallback then
+      Some (Memory.copy t.mem)
+    else None
+  in
+  if t.cfg.robust.sanitize then Depcheck.reset t.depcheck;
   let red_entry =
     List.map
       (fun (rd : Parallel_loop.reduction) ->
@@ -460,14 +507,22 @@ let begin_parallel t (pl : Parallel_loop.t) =
   in
   Hashtbl.reset t.conv_signals;
   for c = 0 to t.n - 1 do
-    t.workers.(c) <-
-      Some
-        {
-          w_core = c;
-          w_ctx = Context.create t.prog t.mem ~core_id:c;
-          w_local_iter = 0;
-          w_running_iter = false;
-        }
+    let w =
+      {
+        w_core = c;
+        w_ctx = Context.create t.prog t.mem ~core_id:c;
+        w_local_iter = 0;
+        w_running_iter = false;
+      }
+    in
+    if t.cfg.robust.sanitize then
+      Context.set_mem_hook w.w_ctx
+        (Some
+           (fun ~seg ~addr ~write ->
+             Depcheck.record t.depcheck ~core:c
+               ~iter:(max 0 (w.w_local_iter - 1))
+               ~seg ~addr ~write));
+    t.workers.(c) <- Some w
   done;
   t.phase <-
     Parallel
@@ -486,6 +541,7 @@ let begin_parallel t (pl : Parallel_loop.t) =
         ps_stopped = false;
         ps_start_cycle = !(t.now) + t.cfg.setup_latency;
         ps_entry_cycle = !(t.now);
+        ps_checkpoint = checkpoint;
       }
 
 let parallel_done t (ps : par_state) =
@@ -501,7 +557,7 @@ let parallel_done t (ps : par_state) =
   && Array.for_all Core.quiescent t.cores
   && (match t.ring with Some r -> Ring.data_drained r | None -> true)
 
-let end_parallel t (ps : par_state) =
+let end_parallel_normal t (ps : par_state) =
   if !traced < trace_invocations then begin
     incr traced;
     Printf.eprintf "  [trace] @%d end_parallel (entry @%d, started %d)\n"
@@ -576,6 +632,172 @@ let end_parallel t (ps : par_state) =
   Context.jump_to sc pl.Parallel_loop.pl_exit;
   t.phase <- Serial
 
+(* ---- robustness: sanitizer verdicts, fallback, oracle ---- *)
+
+let oracle_entry t (ps : par_state) : Oracle.entry =
+  {
+    Oracle.en_pl = ps.ps_pl;
+    en_trip = ps.ps_trip;
+    en_params = ps.ps_params;
+    en_ivs = ps.ps_iv_entry;
+    en_reds = ps.ps_red_entry;
+    en_lvs = ps.ps_lv_entry;
+    en_srs = ps.ps_sr_entry;
+    en_n = t.n;
+  }
+
+(* Graceful degradation: roll the invocation back to its entry
+   checkpoint and re-execute it sequentially through the oracle's replay
+   engine, then resume the run at the loop exit.  The ring is aborted
+   (its speculative state would be stale after the rollback) and the
+   worker cores are rebuilt so no in-flight uop survives; their
+   accumulated statistics are preserved in [extra_stats].  The
+   re-execution is charged at one instruction per cycle on the serial
+   core. *)
+let do_fallback t (ps : par_state) ~reason =
+  let pl = ps.ps_pl in
+  let cp =
+    match ps.ps_checkpoint with
+    | Some cp -> cp
+    | None -> invalid_arg "Executor: fallback without checkpoint"
+  in
+  (match t.ring with Some r -> Ring.abort r | None -> ());
+  Memory.restore t.mem ~from:cp;
+  Hashtbl.reset t.conv_signals;
+  for c = 0 to t.n - 1 do
+    t.workers.(c) <- None
+  done;
+  t.extra_stats <-
+    Array.to_list (Array.map Core.stats t.cores) @ t.extra_stats;
+  t.cores <- Array.init t.n t.mk_core;
+  let rp =
+    try Oracle.replay t.prog (oracle_entry t ps) t.mem
+    with Oracle.Replay_stuck msg ->
+      raise (Stuck (Violation, "sequential fallback failed: " ^ msg))
+  in
+  List.iter
+    (fun (r, v) -> Context.set_reg t.serial_ctx r v)
+    rp.Oracle.rp_regs;
+  t.fallbacks <- t.fallbacks + 1;
+  t.invocations <-
+    {
+      inv_loop = pl.Parallel_loop.pl_id;
+      inv_trip = rp.Oracle.rp_executed;
+      inv_cycles = !(t.now) - ps.ps_entry_cycle;
+    }
+    :: t.invocations;
+  Trace.fallback t.cfg.trace ~cycle:!(t.now) ~loop:pl.Parallel_loop.pl_id
+    ~reason ~iterations:rp.Oracle.rp_executed;
+  t.serial_stall_until <- !(t.now) + 2 + rp.Oracle.rp_dyn_instrs;
+  Context.jump_to t.serial_ctx pl.Parallel_loop.pl_exit;
+  t.phase <- Serial
+
+(* Sanitizer verdict for the finishing invocation.  Must run before the
+   flush: the signal-bound check reads the live signal buffers, which
+   the flush resets. *)
+let detect_violation t =
+  if not t.cfg.robust.sanitize then None
+  else if Depcheck.violations t.depcheck > 0 then
+    Some ("dependence", Depcheck.summary t.depcheck)
+  else
+    let outstanding =
+      match t.ring with Some r -> Ring.max_outstanding_signals r | None -> 0
+    in
+    if outstanding > 2 then
+      Some
+        ( "signal_bound",
+          Printf.sprintf
+            "max outstanding signals %d exceeds the past/future bound of 2"
+            outstanding )
+    else None
+
+(* Differential oracle: runs after the normal end-of-loop path, replays
+   the invocation sequentially on a copy of the entry checkpoint, and
+   compares trip count, live-out registers and the final memory image.
+   On mismatch under [fallback], the sequential results are adopted --
+   the shadow image *is* the correct exit state, so no re-execution is
+   needed, only the rollback of the parallel one. *)
+let check_oracle t (ps : par_state) =
+  let loop = ps.ps_pl.Parallel_loop.pl_id in
+  let cycle = !(t.now) in
+  match ps.ps_checkpoint with
+  | None -> ()
+  | Some cp -> (
+      let shadow = Memory.copy cp in
+      match Oracle.replay t.prog (oracle_entry t ps) shadow with
+      | exception Oracle.Replay_stuck msg ->
+          t.violations <- t.violations + 1;
+          Trace.oracle_result t.cfg.trace ~cycle ~loop ~ok:false
+            ~detail:("shadow replay stuck: " ^ msg);
+          if t.cfg.robust.strict then
+            raise (Stuck (Violation, "oracle shadow replay stuck: " ^ msg))
+      | rp -> (
+          let probs = ref [] in
+          if rp.Oracle.rp_executed <> ps.ps_executed then
+            probs :=
+              Printf.sprintf "trip: parallel %d vs sequential %d"
+                ps.ps_executed rp.Oracle.rp_executed
+              :: !probs;
+          List.iter
+            (fun (r, v) ->
+              let got = Context.reg_value t.serial_ctx r in
+              if got <> v then
+                probs :=
+                  Printf.sprintf "reg r%d: parallel %d vs sequential %d" r got
+                    v
+                  :: !probs)
+            rp.Oracle.rp_regs;
+          if not (Memory.equal t.mem shadow) then
+            probs := "final memory image differs" :: !probs;
+          match !probs with
+          | [] ->
+              Trace.oracle_result t.cfg.trace ~cycle ~loop ~ok:true ~detail:""
+          | probs ->
+              let detail = String.concat "; " (List.rev probs) in
+              t.violations <- t.violations + 1;
+              Trace.violation t.cfg.trace ~cycle ~loop ~kind:"oracle" ~detail;
+              Trace.oracle_result t.cfg.trace ~cycle ~loop ~ok:false ~detail;
+              if t.cfg.robust.strict then
+                raise
+                  (Stuck
+                     ( Violation,
+                       Printf.sprintf "oracle mismatch on loop %d: %s" loop
+                         detail ))
+              else if t.cfg.robust.fallback then begin
+                (match t.ring with Some r -> Ring.abort r | None -> ());
+                Memory.restore t.mem ~from:shadow;
+                List.iter
+                  (fun (r, v) -> Context.set_reg t.serial_ctx r v)
+                  rp.Oracle.rp_regs;
+                t.fallbacks <- t.fallbacks + 1;
+                Trace.fallback t.cfg.trace ~cycle ~loop ~reason:"oracle"
+                  ~iterations:rp.Oracle.rp_executed;
+                t.serial_stall_until <-
+                  max t.serial_stall_until
+                    (cycle + 2 + rp.Oracle.rp_dyn_instrs)
+              end))
+
+let end_parallel t (ps : par_state) =
+  let loop = ps.ps_pl.Parallel_loop.pl_id in
+  let normal () =
+    end_parallel_normal t ps;
+    if t.cfg.robust.check_oracle then check_oracle t ps
+  in
+  match detect_violation t with
+  | None -> normal ()
+  | Some (vkind, detail) ->
+      t.violations <- t.violations + 1;
+      Trace.violation t.cfg.trace ~cycle:!(t.now) ~loop ~kind:vkind ~detail;
+      if t.cfg.robust.strict then
+        raise
+          (Stuck
+             ( Violation,
+               Printf.sprintf "%s violation on loop %d: %s" vkind loop detail
+             ))
+      else if t.cfg.robust.fallback && ps.ps_checkpoint <> None then
+        do_fallback t ps ~reason:vkind
+      else normal ()
+
 (* ---- construction ---- *)
 
 let create ?(compiled : Hcc.compiled option) (cfg : config)
@@ -638,6 +860,11 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
       max_outstanding = 0;
       conv_signals = Hashtbl.create 64;
       reg_cells;
+      depcheck = Depcheck.create ();
+      mk_core = (fun _ -> invalid_arg "Executor: cores not initialized");
+      extra_stats = [];
+      fallbacks = 0;
+      violations = 0;
     }
   in
   t_ref := Some t;
@@ -670,8 +897,9 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
           shared_op t ~core ~cycle ~tag op);
     }
   in
-  t.cores <-
-    Array.init n (fun c -> Core.create cfg.mach.Mach_config.core (supply_for c));
+  t.mk_core <-
+    (fun c -> Core.create cfg.mach.Mach_config.core (supply_for c));
+  t.cores <- Array.init n t.mk_core;
   t
 
 (* ---- stuck diagnostics ---- *)
@@ -791,9 +1019,11 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
       Trace.stuck t.cfg.trace ~cycle ~phase:"fuel";
       raise
         (Stuck
-           (stuck_report t
-              ~reason:
-                (Printf.sprintf "cycle fuel exhausted (fuel=%d)" t.cfg.fuel)))
+           ( Fuel,
+             stuck_report t
+               ~reason:
+                 (Printf.sprintf "cycle fuel exhausted (fuel=%d)" t.cfg.fuel)
+           ))
     end;
     (match t.ring with Some r -> Ring.tick r ~cycle | None -> ());
     Array.iter (fun c -> Core.tick c cycle) t.cores;
@@ -803,7 +1033,9 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
         (fun acc c -> acc + (Core.stats c).Stats.retired)
         0 t.cores
     in
-    if retired <> !last_retired then begin
+    if retired <> !last_retired || cycle < t.serial_stall_until then begin
+      (* a stalled serial core (flush or fallback re-execution charge) is
+         deliberate progress-free time, not a wedge *)
       last_retired := retired;
       last_progress := cycle
     end
@@ -816,7 +1048,12 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
         ~phase:(match t.phase with Serial -> "serial" | Parallel _ -> "parallel");
       Trace.emit t.cfg.trace ~cycle ~kind:"stuck_snapshot"
         [ ("snapshot", stuck_snapshot t ~reason) ];
-      raise (Stuck (stuck_report t ~reason))
+      match t.phase with
+      | Parallel ps when t.cfg.robust.fallback && ps.ps_checkpoint <> None ->
+          (* a wedged parallel invocation degrades to sequential *)
+          do_fallback t ps ~reason:"deadlock";
+          last_progress := cycle
+      | _ -> raise (Stuck (Deadlock, stuck_report t ~reason))
     end;
     (* phase transitions *)
     (match t.phase with
@@ -843,6 +1080,13 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
         if parallel_done t ps then end_parallel t ps);
     incr t.now
   done;
+  (* cores discarded by fallbacks contribute their statistics too *)
+  let all_stats =
+    Array.to_list (Array.map Core.stats t.cores) @ t.extra_stats
+  in
+  let total_retired =
+    List.fold_left (fun acc (s : Stats.t) -> acc + s.Stats.retired) 0 all_stats
+  in
   let metrics =
     let m = Metrics.create () in
     let core_stats = Array.map Core.stats t.cores in
@@ -850,9 +1094,7 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
       (fun i s ->
         Stats.export_metrics ~prefix:(Printf.sprintf "core.%d" i) s m)
       core_stats;
-    Stats.export_metrics ~prefix:"cores"
-      (Stats.merge (Array.to_list core_stats))
-      m;
+    Stats.export_metrics ~prefix:"cores" (Stats.merge all_stats) m;
     (match t.ring with Some r -> Ring.export_metrics r m | None -> ());
     Hierarchy.export_metrics t.hier m;
     Metrics.set_int m "exec.cycles" !(t.now);
@@ -860,11 +1102,9 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
     Metrics.set_int m "exec.parallel_cycles" t.parallel_cycles;
     Metrics.set_int m "exec.invocations" (List.length t.invocations);
     Metrics.set_int m "exec.max_outstanding_signals" t.max_outstanding;
-    Metrics.set_int m "exec.retired"
-      (Array.fold_left
-         (fun acc (s : Stats.t) -> acc + s.Stats.retired)
-         0
-         (Array.map Core.stats t.cores));
+    Metrics.set_int m "exec.fallbacks" t.fallbacks;
+    Metrics.set_int m "exec.violations" t.violations;
+    Metrics.set_int m "exec.retired" total_retired;
     m
   in
   {
@@ -873,9 +1113,7 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
     r_ret = t.ret;
     r_mem = t.mem;
     r_core_stats = Array.map Core.stats t.cores;
-    r_retired =
-      Array.fold_left (fun acc c -> acc + (Core.stats c).Stats.retired) 0
-        t.cores;
+    r_retired = total_retired;
     r_invocations = List.rev t.invocations;
     r_serial_cycles = t.serial_cycles;
     r_parallel_cycles = t.parallel_cycles;
@@ -888,4 +1126,6 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
     r_max_outstanding_signals = t.max_outstanding;
     r_ring_hit_rate =
       (match t.ring with Some r -> Ring.ring_hit_rate r | None -> 1.0);
+    r_fallbacks = t.fallbacks;
+    r_violations = t.violations;
   }

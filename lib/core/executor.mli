@@ -29,6 +29,28 @@ type comm_mode = {
 val fully_decoupled : comm_mode
 val fully_coupled : comm_mode
 
+(** Robustness layer: differential oracle, dependence sanitizer and
+    graceful sequential fallback.  All checks default off — they cost a
+    memory checkpoint per invocation plus per-access sanitizer work. *)
+type robustness = {
+  check_oracle : bool;
+      (** shadow-execute each parallel invocation sequentially via
+          {!Oracle.replay} and compare trip count, live-out registers
+          and the final memory image *)
+  sanitize : bool;
+      (** record worker memory accesses and flag cross-iteration
+          conflicts not ordered by wait/signal ({!Depcheck}); also
+          asserts the paper's ≤2 outstanding-signals bound at flush *)
+  fallback : bool;
+      (** on a violation or a parallel-phase deadlock, roll back to the
+          loop-entry checkpoint, re-execute sequentially and continue *)
+  strict : bool;  (** violations raise [Stuck (Violation, _)] instead *)
+}
+
+val no_robustness : robustness
+val checked : robustness
+(** Oracle + sanitizer + fallback on, strict off: the [--check] mode. *)
+
 type config = {
   mach : Mach_config.t;
   ring_cfg : Ring.config option;  (** [None]: no ring hardware *)
@@ -39,11 +61,12 @@ type config = {
       (** cycles without any retirement before the run is declared
           [Stuck] (default 2M; tests lower it to force cheap wedges) *)
   trace : Helix_obs.Trace.t option;  (** event trace sink, off by default *)
+  robust : robustness;
 }
 
 val default_config :
   ?ring:bool -> ?comm:comm_mode -> ?trace:Helix_obs.Trace.t ->
-  Mach_config.t -> config
+  ?robust:robustness -> Mach_config.t -> config
 
 type invocation_record = {
   inv_loop : int;
@@ -64,18 +87,26 @@ type result = {
   r_ring_consumers_hist : int array;  (** Figure 4c *)
   r_max_outstanding_signals : int;    (** must stay <= 2 *)
   r_ring_hit_rate : float;
+  r_fallbacks : int;   (** invocations re-executed sequentially *)
+  r_violations : int;  (** robustness checks tripped *)
   r_metrics : Helix_obs.Metrics.t;
       (** every counter of the run under stable names
           under the ring./core.<i>./cores./hier./exec. prefixes *)
 }
 
-exception Stuck of string
-(** Raised when no core retires anything for [watchdog_cycles] — a
-    protocol deadlock.  The payload is a full report: loop/phase
-    scheduling counters, every worker's context state and per-segment
-    wait targets (signals expected vs received from each origin), and
-    the complete ring snapshot (all nodes' signal buffers, lockstep
-    acceptance vectors, link occupancy). *)
+(** Why a run died: [Fuel] is the cycle/trip budget, [Deadlock] the
+    no-retirement watchdog, [Violation] a robustness check under
+    [strict] (or one the fallback machinery could not recover from). *)
+type stuck_reason = Fuel | Deadlock | Violation
+
+val stuck_reason_name : stuck_reason -> string
+
+exception Stuck of stuck_reason * string
+(** The string payload is a full report: loop/phase scheduling counters,
+    every worker's context state and per-segment wait targets (signals
+    expected vs received from each origin), and the complete ring
+    snapshot (all nodes' signal buffers, lockstep acceptance vectors,
+    link occupancy). *)
 
 val run :
   ?compiled:Hcc.compiled -> config -> Ir.program -> Memory.t -> result

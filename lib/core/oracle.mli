@@ -1,0 +1,37 @@
+open Helix_ir
+open Helix_hcc
+
+(** Differential oracle: shadow-execute one parallel-loop invocation
+    sequentially through {!Helix_ir.Interp} — same generated body
+    function, same runtime-cell protocol, iterations in order — and
+    return the architectural effect (memory is mutated in place, live-out
+    registers and trip count are returned) for comparison against the
+    parallel run.  Also the engine behind the executor's sequential
+    fallback: run it on the restored loop-entry checkpoint and adopt the
+    results. *)
+
+exception Replay_stuck of string
+(** The shadow itself failed (out of fuel, runtime error, or a
+    conditional loop exceeding the iteration cap). *)
+
+type entry = {
+  en_pl : Parallel_loop.t;
+  en_trip : int option;  (** [None]: conditional loop, replay until stop *)
+  en_params : int list;
+  en_ivs : (Parallel_loop.iv_info * int * int * int) list;
+      (** (info, r0, s0, step_value) entry values *)
+  en_reds : (Parallel_loop.reduction * int) list;
+  en_lvs : (Parallel_loop.lastval * int) list;
+  en_srs : (Parallel_loop.shared_reg * int) list;
+  en_n : int;            (** core count — the runtime cell-slot count *)
+}
+
+type replay = {
+  rp_executed : int;              (** iterations that continued *)
+  rp_regs : (Ir.reg * int) list;  (** live-out register values *)
+  rp_dyn_instrs : int;            (** interpreter work, for timing charges *)
+}
+
+val replay : Ir.program -> entry -> Memory.t -> replay
+(** Mutates [mem] from the loop-entry image to the sequential exit image
+    (runtime cells initialized, iterations applied, scratch cleared). *)

@@ -100,8 +100,26 @@ let parallel ?(cache = true) ~(tag : string) (wl : Workload.t)
 let conventional_cfg ?(mach = Mach_config.default) () =
   Executor.default_config ~ring:false ~comm:Executor.fully_coupled mach
 
-let helix_cfg ?(mach = Mach_config.default) ?trace () =
-  Executor.default_config ~ring:true ~comm:Executor.fully_decoupled ?trace mach
+let helix_cfg ?(mach = Mach_config.default) ?trace ?robust ?jitter_seed () =
+  let cfg =
+    Executor.default_config ~ring:true ~comm:Executor.fully_decoupled ?trace
+      ?robust mach
+  in
+  match jitter_seed with
+  | None -> cfg
+  | Some seed ->
+      {
+        cfg with
+        Executor.ring_cfg =
+          Option.map
+            (fun rc ->
+              {
+                rc with
+                Helix_ring.Ring.perturb =
+                  Some (Helix_ring.Ring.perturbed ~seed ());
+              })
+            cfg.Executor.ring_cfg;
+      }
 
 (* Conventional run of a version's code (HCCv1/v2 always run here). *)
 let run_conventional wl version =

@@ -24,6 +24,14 @@ let clear m =
   Hashtbl.reset m.words;
   m.writes <- 0
 
+(* Roll [m] back to the image captured in [from] (itself untouched).  The
+   executor's fallback path checkpoints memory at parallel-loop entry and
+   restores it here before re-executing the invocation sequentially. *)
+let restore m ~from =
+  Hashtbl.reset m.words;
+  Hashtbl.iter (fun a v -> if v <> 0 then Hashtbl.replace m.words a v) from.words;
+  m.writes <- m.writes + 1
+
 (* Content hash, independent of insertion order; used as the oracle that a
    parallel execution produced exactly the sequential memory image. *)
 let hash m =

@@ -11,6 +11,11 @@ val store : t -> int -> int -> unit
 val copy : t -> t
 val clear : t -> unit
 
+val restore : t -> from:t -> unit
+(** [restore m ~from] rolls [m] back to the image captured in [from]
+    (which is left untouched): the rollback half of the executor's
+    checkpoint/re-execute fallback. *)
+
 val hash : t -> int
 (** Content hash, independent of insertion order: the oracle that a
     parallel execution reproduced the sequential memory image. *)

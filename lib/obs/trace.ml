@@ -126,3 +126,18 @@ let loop_flush t ~cycle ~loop ~iterations ~span ~flush_latency =
 
 let stuck t ~cycle ~phase =
   emit t ~cycle ~kind:"stuck" [ ("phase", Json.String phase) ]
+
+let violation t ~cycle ~loop ~kind:vkind ~detail =
+  emit t ~cycle ~kind:"violation"
+    [ ("loop", Json.Int loop); ("vkind", Json.String vkind);
+      ("detail", Json.String detail) ]
+
+let fallback t ~cycle ~loop ~reason ~iterations =
+  emit t ~cycle ~kind:"fallback"
+    [ ("loop", Json.Int loop); ("reason", Json.String reason);
+      ("iterations", Json.Int iterations) ]
+
+let oracle_result t ~cycle ~loop ~ok ~detail =
+  emit t ~cycle ~kind:"oracle_result"
+    [ ("loop", Json.Int loop); ("ok", Json.Bool ok);
+      ("detail", Json.String detail) ]

@@ -73,3 +73,17 @@ val loop_flush :
   cycle:int -> loop:int -> iterations:int -> span:int -> flush_latency:int -> unit
 
 val stuck : t option -> cycle:int -> phase:string -> unit
+
+val violation :
+  t option -> cycle:int -> loop:int -> kind:string -> detail:string -> unit
+(** A robustness check tripped during a parallel invocation; [kind] is
+    ["dependence"], ["signal_bound"] or ["oracle"]. *)
+
+val fallback :
+  t option -> cycle:int -> loop:int -> reason:string -> iterations:int -> unit
+(** The executor rolled the invocation back to its entry checkpoint and
+    re-executed it sequentially. *)
+
+val oracle_result :
+  t option -> cycle:int -> loop:int -> ok:bool -> detail:string -> unit
+(** Differential-oracle verdict for one parallel invocation. *)

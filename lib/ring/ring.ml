@@ -19,6 +19,23 @@
    served from it after a full-lap round trip through the owner node's L1
    path. *)
 
+(* Deterministic timing perturbation for fault-injection testing: bounded
+   extra delays hashed from (seed, cycle, node, salt).  Delays never
+   reorder traffic -- every queue in the ring is FIFO and delivery pops
+   from the head -- so jitter perturbs *when* messages move, never the
+   protocol's orderings, and architectural results must be invariant
+   under it. *)
+type perturbation = {
+  pj_seed : int;
+  pj_link_max : int;    (* extra cycles per hop, uniform in [0, max] *)
+  pj_inject_max : int;  (* extra core-to-node injection delay *)
+  pj_signal_max : int;  (* additional delay applied to signal messages *)
+}
+
+let perturbed ?(link_max = 2) ?(inject_max = 3) ?(signal_max = 2) ~seed () =
+  { pj_seed = seed; pj_link_max = link_max; pj_inject_max = inject_max;
+    pj_signal_max = signal_max }
+
 type config = {
   n_nodes : int;
   link_latency : int;        (* cycles per hop *)
@@ -33,6 +50,7 @@ type config = {
   (* ablation knobs (defaults reproduce the paper's design) *)
   greedy_sig_inject : bool;  (* signal wires inject with leftover bandwidth *)
   flush_invalidates : bool;  (* flush drops clean copies too *)
+  perturb : perturbation option; (* seeded fault-injection jitter *)
 }
 
 let default_config ~n_nodes =
@@ -49,7 +67,28 @@ let default_config ~n_nodes =
     inject_capacity = 8;
     greedy_sig_inject = true;
     flush_invalidates = false;
+    perturb = None;
   }
+
+(* splitmix-style finalizer keyed on (seed, cycle, node, salt): pure, so
+   a given seed reproduces the exact same perturbed schedule. *)
+let jitter cfg ~salt ~cycle ~node ~bound =
+  match cfg.perturb with
+  | None -> 0
+  | Some p ->
+      let bound = bound p in
+      if bound <= 0 then 0
+      else
+        let x =
+          p.pj_seed
+          lxor (cycle * 0x9e3779b97f4a7c1)
+          lxor ((node + 1) * 0xf51afd7ed558cc5)
+          lxor ((salt + 1) * 0x4ceb9fe1a85ec53)
+        in
+        let x = x lxor (x lsr 33) in
+        let x = x * 0xbf58476d1ce4e5b in
+        let x = (x lxor (x lsr 29)) land max_int in
+        x mod (bound + 1)
 
 (* Callbacks into the rest of the memory system. *)
 type env = {
@@ -190,8 +229,9 @@ let try_store t ~node ~addr ~value ~cycle =
     n.last_accepted_data <- seq;
     (* the store is applied locally at acceptance *)
     n.applied_data.(node) <- seq;
+    let j = jitter t.cfg ~salt:1 ~cycle ~node ~bound:(fun p -> p.pj_inject_max) in
     Queue.add
-      (cycle + t.cfg.injection_latency, Msg.Data { addr; value }, seq)
+      (cycle + t.cfg.injection_latency + j, Msg.Data { addr; value }, seq)
       n.inject_data;
     Helix_obs.Trace.store_inject t.trace ~cycle ~node ~addr ~value ~seq;
     true
@@ -207,8 +247,12 @@ let try_signal t ~node ~seg ~cycle =
   else begin
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
+    let j =
+      jitter t.cfg ~salt:2 ~cycle ~node ~bound:(fun p ->
+          p.pj_inject_max + p.pj_signal_max)
+    in
     Queue.add
-      ( cycle + t.cfg.injection_latency,
+      ( cycle + t.cfg.injection_latency + j,
         Msg.Sig { seg; barrier = n.last_accepted_data },
         seq )
       n.inject_sig;
@@ -310,7 +354,12 @@ let link_free_space t links in_of i =
 
 let send t (msg : Msg.t) i ~cycle =
   let links, _ = class_of_msg t msg in
-  Queue.add (cycle + t.cfg.link_latency, msg) links.(i)
+  let j =
+    jitter t.cfg ~salt:3 ~cycle ~node:i ~bound:(fun p ->
+        if Msg.is_data msg then p.pj_link_max
+        else p.pj_link_max + p.pj_signal_max)
+  in
+  Queue.add (cycle + t.cfg.link_latency + j, msg) links.(i)
 
 (* Apply a message arriving at node [n]; returns true if it must keep
    travelling (successor is not its origin). *)
@@ -482,6 +531,33 @@ let flush t ~cycle =
   (* each owner writes its share back in parallel; charge the max *)
   let max_share = Array.fold_left max 0 per_node in
   if dirty = 0 then 1 else 2 * max_share |> max 1
+
+(* Abandon the current invocation without write-back: the executor's
+   fallback path rolls memory back to the loop-entry checkpoint and
+   re-executes the invocation sequentially, so the ring's speculative
+   state -- dirty values in [current], in-flight traffic, signal
+   accounting, cached copies -- must simply vanish.  Clean copies are
+   dropped too (unlike [flush]) because the rollback makes them stale.
+   Sharing-histogram contributions from the aborted invocation are kept;
+   they describe traffic that really occurred. *)
+let abort t =
+  Hashtbl.reset t.current;
+  Hashtbl.reset t.meta;
+  Hashtbl.reset t.resident;
+  Array.iter
+    (fun n ->
+      Node_array.clear n.array;
+      Signal_buffer.reset n.sigbuf;
+      Queue.clear n.in_data;
+      Queue.clear n.in_sig;
+      Queue.clear n.inject_data;
+      Queue.clear n.inject_sig;
+      n.stall_until <- 0;
+      Array.fill n.applied_data 0 (Array.length n.applied_data)
+        (t.next_seq - 1))
+    t.nodes;
+  Array.iter Queue.clear t.links_data;
+  Array.iter Queue.clear t.links_sig
 
 (* Diagnostic dump for deadlock reports: every node unconditionally (a
    16-core wedge is usually caused by one of the nodes an abbreviated

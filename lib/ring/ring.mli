@@ -10,6 +10,23 @@
     store, implementing "signals move in lockstep with forwarded
     data". *)
 
+(** Deterministic fault-injection jitter: bounded extra delays hashed
+    purely from [(seed, cycle, node, salt)].  Every ring queue is FIFO
+    and delivery only pops heads, so jitter can delay traffic but never
+    reorder it — architectural results must be invariant under any
+    seed. *)
+type perturbation = {
+  pj_seed : int;
+  pj_link_max : int;    (** extra cycles per hop, uniform in [0, max] *)
+  pj_inject_max : int;  (** extra core-to-node injection delay *)
+  pj_signal_max : int;  (** additional delay applied to signal messages *)
+}
+
+val perturbed :
+  ?link_max:int -> ?inject_max:int -> ?signal_max:int -> seed:int -> unit ->
+  perturbation
+(** Perturbation with small bounded defaults (2/3/2 cycles). *)
+
 type config = {
   n_nodes : int;
   link_latency : int;        (** cycles per hop *)
@@ -24,11 +41,13 @@ type config = {
   greedy_sig_inject : bool;  (** ablation: signal wires inject with
                                  leftover bandwidth *)
   flush_invalidates : bool;  (** ablation: flush drops clean copies *)
+  perturb : perturbation option;  (** seeded fault-injection jitter *)
 }
 
 val default_config : n_nodes:int -> config
 (** The paper's default: 1-cycle links, 1-word data / 5-signal bandwidth,
-    2-cycle injection, 1KB 8-way single-word-line arrays. *)
+    2-cycle injection, 1KB 8-way single-word-line arrays, no
+    perturbation. *)
 
 (** Callbacks into the rest of the memory system. *)
 type env = {
@@ -87,6 +106,13 @@ val flush : t -> cycle:int -> int
 (** End-of-loop distributed fence: write dirty values back, reset
     synchronization state, keep clean copies (unless
     [flush_invalidates]).  Returns the latency to charge. *)
+
+val abort : t -> unit
+(** Abandon the current invocation {e without} write-back: discard the
+    authoritative loop image, all in-flight traffic, signal accounting
+    and cached copies.  Used by the executor's rollback path before it
+    re-executes the invocation sequentially from the loop-entry memory
+    checkpoint. *)
 
 (** {1 Statistics (Figures 4b/4c and sensitivity)} *)
 

@@ -119,6 +119,45 @@ let tests =
             Alcotest.(check bool) (r.Table1.name ^ " v3 >= v2") true
               (r.Table1.cov_v3 >= r.Table1.cov_v2 -. 0.01))
           rows);
+    tc "fault injection: jitter seeds preserve architectural state" (fun () ->
+        (* the acceptance bar for the fault-injection layer: under at
+           least three deterministic perturbation seeds every integer
+           workload must produce the bit-identical return value and
+           final memory image of the unperturbed run, with the
+           differential oracle and sanitizer enabled and silent *)
+        List.iter
+          (fun wl ->
+            let name = wl.Helix_workloads.Workload.name in
+            let base = Exp_common.run_helix wl Exp_common.V3 in
+            Alcotest.(check bool) (name ^ " baseline verified") true
+              (Exp_common.verified wl base);
+            List.iter
+              (fun seed ->
+                let cfg =
+                  Exp_common.helix_cfg
+                    ~robust:Helix_core.Executor.checked ~jitter_seed:seed ()
+                in
+                let r =
+                  Exp_common.parallel ~cache:false
+                    ~tag:(Fmt.str "jitter%d" seed) wl Exp_common.V3 cfg
+                in
+                Alcotest.(check (option int))
+                  (Fmt.str "%s seed %d: return value" name seed)
+                  base.Helix_core.Executor.r_ret
+                  r.Helix_core.Executor.r_ret;
+                Alcotest.(check bool)
+                  (Fmt.str "%s seed %d: memory image bit-identical" name seed)
+                  true
+                  (Helix_ir.Memory.equal base.Helix_core.Executor.r_mem
+                     r.Helix_core.Executor.r_mem);
+                Alcotest.(check int)
+                  (Fmt.str "%s seed %d: oracle+sanitizer silent" name seed)
+                  0 r.Helix_core.Executor.r_violations;
+                Alcotest.(check int)
+                  (Fmt.str "%s seed %d: no fallbacks" name seed)
+                  0 r.Helix_core.Executor.r_fallbacks)
+              [ 5; 77; 90125 ])
+          Helix_workloads.Registry.integer);
   ]
 
 (* quick, simulation-free checks of the report renderer *)

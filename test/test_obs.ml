@@ -294,7 +294,10 @@ let deadlock_tests =
             (s.Workload.init Workload.Ref)
         with
         | _ -> Alcotest.fail "run without signals should get stuck"
-        | exception Executor.Stuck report ->
+        | exception Executor.Stuck (reason, report) ->
+            Alcotest.(check string)
+              "a wedge is classified as a deadlock, not fuel" "deadlock"
+              (Executor.stuck_reason_name reason);
             (* every ring node's state must appear, not just the first few *)
             for node = 0 to cfg.Executor.mach.Mach_config.n_cores - 1 do
               Alcotest.(check bool)

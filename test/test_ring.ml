@@ -87,6 +87,99 @@ let signal_tests =
         check Alcotest.int "received" 0 (Signal_buffer.received b ~seg:0 ~origin:1));
   ]
 
+(* Randomized-interleaving properties: drive a buffer with a fixed-seed
+   stream of record/satisfied/received operations over several
+   (segment, origin) pairs and check it against a trivial reference
+   model (per-pair received and consumed counters). *)
+
+let sb_property_tests =
+  (* deterministic splitmix-style generator; fixed seed *)
+  let state = ref 0 in
+  let rand bound =
+    state := (!state + 0x9e3779b97f4a7c1) land max_int;
+    let z = !state in
+    let z = (z lxor (z lsr 30)) * 0xf51afd7ed558cc5 land max_int in
+    let z = (z lxor (z lsr 27)) * 0x4ceb9fe1a85ec53 land max_int in
+    (z lxor (z lsr 31)) mod bound
+  in
+  let find model k = try Hashtbl.find model k with Not_found -> (0, 0) in
+  [
+    tc "random interleaving agrees with a reference model" (fun () ->
+        state := 42;
+        let b = Signal_buffer.create () in
+        let model = Hashtbl.create 16 in
+        (* (seg, origin) -> (received, consumed) *)
+        let max_out = ref 0 in
+        for step = 1 to 10_000 do
+          let seg = rand 3 and origin = rand 4 in
+          let k = (seg, origin) in
+          let r, c = find model k in
+          match rand 3 with
+          | 0 ->
+              Signal_buffer.record b ~seg ~origin;
+              Hashtbl.replace model k (r + 1, c);
+              max_out := max !max_out (r + 1 - c)
+          | 1 ->
+              let threshold = rand 6 in
+              let expect = r >= threshold in
+              Alcotest.(check bool)
+                (Fmt.str "step %d: satisfied seg%d/or%d thr%d" step seg origin
+                   threshold)
+                expect
+                (Signal_buffer.satisfied b ~seg ~origin ~threshold);
+              if expect && threshold > c then Hashtbl.replace model k (r, threshold)
+          | _ ->
+              check Alcotest.int
+                (Fmt.str "step %d: received seg%d/or%d" step seg origin)
+                r
+                (Signal_buffer.received b ~seg ~origin)
+        done;
+        check Alcotest.int "max_outstanding matches the model" !max_out
+          (Signal_buffer.max_outstanding b);
+        (* entries is consistent: every active pair, consumed <= received *)
+        List.iter
+          (fun ((seg, origin), recv, cons) ->
+            let r, c = find model (seg, origin) in
+            check Alcotest.int (Fmt.str "entry recv seg%d/or%d" seg origin) r recv;
+            check Alcotest.int (Fmt.str "entry cons seg%d/or%d" seg origin) c cons;
+            Alcotest.(check bool) "cons <= recv" true (cons <= recv))
+          (Signal_buffer.entries b));
+    tc "received is monotone; satisfied is monotone in threshold" (fun () ->
+        state := 7;
+        let b = Signal_buffer.create () in
+        let prev = ref 0 in
+        for _ = 1 to 500 do
+          if rand 2 = 0 then Signal_buffer.record b ~seg:1 ~origin:2;
+          let r = Signal_buffer.received b ~seg:1 ~origin:2 in
+          Alcotest.(check bool) "monotone" true (r >= !prev);
+          prev := r;
+          (* satisfied at t implies satisfied at every t' <= t *)
+          let t = rand 8 in
+          if Signal_buffer.satisfied b ~seg:1 ~origin:2 ~threshold:t then
+            for t' = 0 to t - 1 do
+              Alcotest.(check bool) "downward closed" true
+                (Signal_buffer.satisfied b ~seg:1 ~origin:2 ~threshold:t')
+            done
+        done);
+    tc "reset after random traffic restores a pristine buffer" (fun () ->
+        state := 1337;
+        let b = Signal_buffer.create () in
+        for _ = 1 to 200 do
+          Signal_buffer.record b ~seg:(rand 4) ~origin:(rand 4)
+        done;
+        Signal_buffer.reset b;
+        check Alcotest.int "no outstanding" 0 (Signal_buffer.max_outstanding b);
+        check
+          Alcotest.(list (triple (pair int int) int int))
+          "no entries" [] (Signal_buffer.entries b);
+        (* behaves exactly like a fresh buffer afterwards *)
+        Signal_buffer.record b ~seg:0 ~origin:0;
+        check Alcotest.int "counting restarts at 1" 1
+          (Signal_buffer.received b ~seg:0 ~origin:0);
+        check Alcotest.int "outstanding restarts" 1
+          (Signal_buffer.max_outstanding b));
+  ]
+
 (* ---- owner hashing ----------------------------------------------------- *)
 
 let owner_tests =
@@ -375,6 +468,119 @@ let regression_tests =
         | _ -> Alcotest.fail "ring.dist_hist missing");
   ]
 
+(* ---- fault injection: deterministic timing perturbation ---------------- *)
+
+let perturbed_ring ?(n = 4) seed =
+  mk_ring ~n
+    ~cfg_f:(fun c ->
+      { c with Ring.perturb = Some (Ring.perturbed ~seed ()) })
+    ()
+
+(* first cycle at which [node] observes [value] at [addr], given a store
+   injected at node 0 on cycle 0 *)
+let visibility_cycle r ~node ~addr ~value =
+  let seen = ref (-1) in
+  for cycle = 0 to 300 do
+    Ring.tick r ~cycle;
+    if !seen < 0 && fst (Ring.load r ~node ~addr ~cycle) = value then
+      seen := cycle
+  done;
+  if !seen < 0 then Alcotest.fail "store never became visible";
+  !seen
+
+let jitter_tests =
+  [
+    tc "perturbed ring still delivers stores and signals everywhere" (fun () ->
+        List.iter
+          (fun seed ->
+            let r = perturbed_ring seed in
+            Alcotest.(check bool) "store accepted" true
+              (Ring.try_store r ~node:0 ~addr:64 ~value:9 ~cycle:0);
+            ignore (Ring.try_signal r ~node:1 ~seg:3 ~cycle:0);
+            tick_n r ~from:0 200;
+            for node = 0 to 3 do
+              check Alcotest.int
+                (Fmt.str "seed %d node %d sees the store" seed node)
+                9
+                (fst (Ring.load r ~node ~addr:64 ~cycle:205))
+            done;
+            List.iter
+              (fun node ->
+                Alcotest.(check bool)
+                  (Fmt.str "seed %d node %d sees the signal" seed node)
+                  true
+                  (Ring.signals_satisfied r ~node ~seg:3 ~origin:1
+                     ~threshold:1))
+              [ 0; 2; 3 ];
+            Alcotest.(check bool) "drained" true (Ring.data_drained r))
+          [ 1; 42; 1337 ]);
+    tc "perturbation is deterministic per seed and delay-only" (fun () ->
+        let probe seed =
+          let r = perturbed_ring seed in
+          ignore (Ring.try_store r ~node:0 ~addr:64 ~value:9 ~cycle:0);
+          visibility_cycle r ~node:2 ~addr:64 ~value:9
+        in
+        let baseline =
+          let r = mk_ring () in
+          ignore (Ring.try_store r ~node:0 ~addr:64 ~value:9 ~cycle:0);
+          visibility_cycle r ~node:2 ~addr:64 ~value:9
+        in
+        List.iter
+          (fun seed ->
+            let a = probe seed and b = probe seed in
+            check Alcotest.int (Fmt.str "seed %d reproducible" seed) a b;
+            Alcotest.(check bool)
+              (Fmt.str "seed %d never earlier than unperturbed" seed)
+              true (a >= baseline))
+          [ 1; 42; 1337 ]);
+    tc "lockstep holds under perturbation" (fun () ->
+        (* jitter only delays hops; a signal must still never outrun the
+           data it guards, at any node, under any seed *)
+        List.iter
+          (fun seed ->
+            let r = perturbed_ring ~n:8 seed in
+            for k = 0 to 6 do
+              ignore
+                (Ring.try_store r ~node:0 ~addr:(64 + k) ~value:(k + 1)
+                   ~cycle:0)
+            done;
+            ignore (Ring.try_signal r ~node:0 ~seg:0 ~cycle:0);
+            for cycle = 0 to 200 do
+              Ring.tick r ~cycle;
+              List.iter
+                (fun node ->
+                  if
+                    Ring.signals_satisfied r ~node ~seg:0 ~origin:0
+                      ~threshold:1
+                  then
+                    check Alcotest.int
+                      (Fmt.str "seed %d node %d cycle %d guarded value" seed
+                         node cycle)
+                      7
+                      (fst (Ring.load r ~node ~addr:70 ~cycle)))
+                [ 1; 3; 5; 7 ]
+            done)
+          [ 1; 42; 1337 ]);
+    tc "abort empties the ring wholesale" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:0 ~addr:8 ~value:5 ~cycle:0);
+        ignore (Ring.try_signal r ~node:1 ~seg:0 ~cycle:0);
+        tick_n r ~from:0 3;
+        Ring.abort r;
+        Alcotest.(check bool) "data drained" true (Ring.data_drained r);
+        check Alcotest.int "signals gone" 0
+          (Ring.signals_received r ~node:3 ~seg:0 ~origin:1);
+        (* aborted stores must NOT reach backing memory *)
+        check Alcotest.int "no write-back" 0
+          (try Hashtbl.find backing 8 with Not_found -> 0);
+        (* the ring is reusable afterwards *)
+        Alcotest.(check bool) "accepts new traffic" true
+          (Ring.try_store r ~node:0 ~addr:16 ~value:7 ~cycle:10);
+        for c = 10 to 40 do Ring.tick r ~cycle:c done;
+        check Alcotest.int "new store circulates" 7
+          (fst (Ring.load r ~node:2 ~addr:16 ~cycle:41)));
+  ]
+
 (* property: random store traffic always drains and, for single-writer
    addresses (the compiler's segment ordering guarantees there are no
    unsynchronized multi-writer races), the last store is what every node
@@ -424,8 +630,10 @@ let () =
     [
       ("node-array", node_array_tests);
       ("signal-buffer", signal_tests);
+      ("signal-buffer-properties", sb_property_tests);
       ("owner", owner_tests);
       ("ring", ring_tests);
       ("regressions", regression_tests);
+      ("fault-injection", jitter_tests);
       ("properties", props);
     ]

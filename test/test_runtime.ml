@@ -341,6 +341,234 @@ let fault_tests =
           (Helix.verify g par).Helix.ok);
   ]
 
+(* ---- robustness: oracle, sanitizer, fallback --------------------------- *)
+
+(* Remove every Signal: consumers wait forever, wedging the parallel
+   phase (the watchdog-triggered fallback path). *)
+let strip_signals (compiled : Hcc.compiled) =
+  List.iter
+    (fun (pl : Parallel_loop.t) ->
+      let bf = Ir.find_func compiled.Hcc.cp_prog pl.Parallel_loop.pl_body_fn in
+      List.iter
+        (fun l ->
+          let blk = Ir.block_of_func bf l in
+          blk.Ir.b_instrs <-
+            List.filter
+              (fun ins -> match ins with Ir.Signal _ -> false | _ -> true)
+              blk.Ir.b_instrs)
+        bf.Ir.f_order)
+    (Hcc.selected_loops compiled)
+
+(* Duplicate every Signal: thresholds are met one iteration early
+   (stale reads) and un-consumed signals accumulate past the paper's
+   past/future bound of 2. *)
+let double_signals (compiled : Hcc.compiled) =
+  List.iter
+    (fun (pl : Parallel_loop.t) ->
+      let bf = Ir.find_func compiled.Hcc.cp_prog pl.Parallel_loop.pl_body_fn in
+      List.iter
+        (fun l ->
+          let blk = Ir.block_of_func bf l in
+          blk.Ir.b_instrs <-
+            List.concat_map
+              (fun ins ->
+                match ins with
+                | Ir.Signal _ -> [ ins; ins ]
+                | _ -> [ ins ])
+              blk.Ir.b_instrs)
+        bf.Ir.f_order)
+    (Hcc.selected_loops compiled)
+
+(* Run a deliberately mutilated compile of [s] under [robust] and return
+   (golden, result, trace). *)
+let run_mutilated ?(watchdog = max_int) ~robust ~mutate s =
+  let tr = Helix_obs.Trace.create () in
+  let gp, _ = s.prog () in
+  let g = Helix.golden_run gp (Memory.create ()) in
+  let cp, layout = s.prog () in
+  let compiled = compile_v3 (cp, layout) in
+  mutate compiled;
+  let cfg =
+    {
+      (Executor.default_config ~trace:tr ~robust Mach_config.default) with
+      Executor.watchdog_cycles = watchdog;
+    }
+  in
+  let par = Executor.run ~compiled cfg compiled.Hcc.cp_prog (Memory.create ()) in
+  (g, par, tr)
+
+let event_kinds tr =
+  List.map (fun e -> e.Helix_obs.Trace.ev_kind) (Helix_obs.Trace.events tr)
+
+let has_violation_kind tr k =
+  List.exists
+    (fun e ->
+      e.Helix_obs.Trace.ev_kind = "violation"
+      && List.assoc_opt "vkind" e.Helix_obs.Trace.ev_fields
+         = Some (Helix_obs.Json.String k))
+    (Helix_obs.Trace.events tr)
+
+let check_incident_visible ~name (par : Executor.result) tr =
+  Alcotest.(check bool) (name ^ ": at least one violation recorded") true
+    (par.Executor.r_violations >= 1);
+  Alcotest.(check bool) (name ^ ": at least one fallback") true
+    (par.Executor.r_fallbacks >= 1);
+  (match Helix_obs.Metrics.find_int par.Executor.r_metrics "exec.fallbacks" with
+  | Some n ->
+      Alcotest.(check bool) (name ^ ": exec.fallbacks metric >= 1") true (n >= 1)
+  | None -> Alcotest.fail "exec.fallbacks metric missing");
+  let kinds = event_kinds tr in
+  Alcotest.(check bool) (name ^ ": fallback event traced") true
+    (List.mem "fallback" kinds)
+
+let robustness_tests =
+  [
+    tc "clean scenarios: oracle and sanitizer report zero incidents" (fun () ->
+        List.iter
+          (fun s ->
+            let g, _, par =
+              run_scenario
+                ~exec_cfg:
+                  (Executor.default_config ~robust:Executor.checked
+                     Mach_config.default)
+                s
+            in
+            let v = Helix.verify g par in
+            Alcotest.(check bool) (s.name ^ ": " ^ v.Helix.detail) true
+              v.Helix.ok;
+            check Alcotest.int (s.name ^ ": violations") 0
+              par.Executor.r_violations;
+            check Alcotest.int (s.name ^ ": fallbacks") 0
+              par.Executor.r_fallbacks)
+          scenarios);
+    tc "stripped waits: sanitizer violation degrades to sequential" (fun () ->
+        let g, par, tr =
+          run_mutilated ~robust:Executor.checked ~mutate:strip_waits s_hist
+        in
+        let v = Helix.verify g par in
+        Alcotest.(check bool) ("fallback repairs the run: " ^ v.Helix.detail)
+          true v.Helix.ok;
+        check_incident_visible ~name:"stripped waits" par tr;
+        Alcotest.(check bool) "violation event traced" true
+          (List.mem "violation" (event_kinds tr)));
+    tc "stripped signals: wedged invocation degrades to sequential" (fun () ->
+        let g, par, tr =
+          run_mutilated ~watchdog:20_000 ~robust:Executor.checked
+            ~mutate:strip_signals s_hist
+        in
+        let v = Helix.verify g par in
+        Alcotest.(check bool) ("fallback repairs the wedge: " ^ v.Helix.detail)
+          true v.Helix.ok;
+        Alcotest.(check bool) "at least one fallback" true
+          (par.Executor.r_fallbacks >= 1);
+        Alcotest.(check bool) "fallback event traced" true
+          (List.mem "fallback" (event_kinds tr)));
+    tc "doubled signals break the outstanding-signal bound" (fun () ->
+        let g, par, tr =
+          run_mutilated ~robust:Executor.checked ~mutate:double_signals s_hist
+        in
+        let v = Helix.verify g par in
+        Alcotest.(check bool) ("fallback repairs the run: " ^ v.Helix.detail)
+          true v.Helix.ok;
+        check_incident_visible ~name:"doubled signals" par tr;
+        Alcotest.(check bool) "signal_bound violation traced" true
+          (has_violation_kind tr "signal_bound"));
+    tc "strict mode raises Stuck Violation" (fun () ->
+        let robust =
+          { Executor.checked with Executor.strict = true; fallback = false }
+        in
+        match run_mutilated ~robust ~mutate:strip_waits s_hist with
+        | exception Executor.Stuck (Executor.Violation, _) -> ()
+        | exception Executor.Stuck (r, _) ->
+            Alcotest.fail
+              ("wrong stuck reason: " ^ Executor.stuck_reason_name r)
+        | _ -> Alcotest.fail "expected Stuck Violation under --strict");
+    tc "timing jitter preserves architectural results" (fun () ->
+        List.iter
+          (fun s ->
+            List.iter
+              (fun seed ->
+                let cfg =
+                  let c =
+                    Executor.default_config ~robust:Executor.checked
+                      Mach_config.default
+                  in
+                  {
+                    c with
+                    Executor.ring_cfg =
+                      Option.map
+                        (fun rc ->
+                          {
+                            rc with
+                            Helix_ring.Ring.perturb =
+                              Some (Helix_ring.Ring.perturbed ~seed ());
+                          })
+                        c.Executor.ring_cfg;
+                  }
+                in
+                let g, _, par = run_scenario ~exec_cfg:cfg s in
+                let v = Helix.verify g par in
+                Alcotest.(check bool)
+                  (Fmt.str "%s seed %d: %s" s.name seed v.Helix.detail)
+                  true v.Helix.ok;
+                check Alcotest.int
+                  (Fmt.str "%s seed %d: no violations" s.name seed)
+                  0 par.Executor.r_violations)
+              [ 11; 202; 3003 ])
+          [ s_hist; s_quadratic; s_conditional ]);
+  ]
+
+(* ---- dependence sanitizer unit tests ------------------------------------ *)
+
+let depcheck_tests =
+  let open Depcheck in
+  [
+    tc "unguarded cross-core write/write conflicts" (fun () ->
+        let d = create () in
+        record d ~core:0 ~iter:0 ~seg:None ~addr:100 ~write:true;
+        record d ~core:1 ~iter:1 ~seg:None ~addr:100 ~write:true;
+        Alcotest.(check bool) "flagged" true (violations d >= 1);
+        match sample_violations d with
+        | v :: _ ->
+            check Alcotest.int "address" 100 v.v_addr;
+            Alcotest.(check bool) "describes itself" true
+              (String.length (describe_violation v) > 0)
+        | [] -> Alcotest.fail "no sample recorded");
+    tc "same-segment cross-core accesses are ordered" (fun () ->
+        let d = create () in
+        record d ~core:0 ~iter:0 ~seg:(Some 3) ~addr:100 ~write:true;
+        record d ~core:1 ~iter:1 ~seg:(Some 3) ~addr:100 ~write:true;
+        check Alcotest.int "no violation" 0 (violations d));
+    tc "different segments on different cores conflict" (fun () ->
+        let d = create () in
+        record d ~core:0 ~iter:0 ~seg:(Some 3) ~addr:100 ~write:true;
+        record d ~core:1 ~iter:1 ~seg:(Some 4) ~addr:100 ~write:true;
+        Alcotest.(check bool) "flagged" true (violations d >= 1));
+    tc "read/read never conflicts" (fun () ->
+        let d = create () in
+        record d ~core:0 ~iter:0 ~seg:None ~addr:100 ~write:false;
+        record d ~core:1 ~iter:1 ~seg:None ~addr:100 ~write:false;
+        check Alcotest.int "no violation" 0 (violations d));
+    tc "same-core accesses are ordered by program order" (fun () ->
+        let d = create () in
+        record d ~core:2 ~iter:0 ~seg:None ~addr:100 ~write:true;
+        record d ~core:2 ~iter:1 ~seg:(Some 1) ~addr:100 ~write:true;
+        check Alcotest.int "no violation" 0 (violations d));
+    tc "unguarded read against a remote write conflicts" (fun () ->
+        let d = create () in
+        record d ~core:0 ~iter:0 ~seg:(Some 3) ~addr:64 ~write:true;
+        record d ~core:5 ~iter:2 ~seg:None ~addr:64 ~write:false;
+        Alcotest.(check bool) "flagged" true (violations d >= 1));
+    tc "reset clears violations and accesses" (fun () ->
+        let d = create () in
+        record d ~core:0 ~iter:0 ~seg:None ~addr:100 ~write:true;
+        record d ~core:1 ~iter:1 ~seg:None ~addr:100 ~write:true;
+        reset d;
+        check Alcotest.int "cleared" 0 (violations d);
+        record d ~core:1 ~iter:1 ~seg:None ~addr:100 ~write:true;
+        check Alcotest.int "fresh epoch, single access" 0 (violations d));
+  ]
+
 (* ---- context engine --------------------------------------------------------- *)
 
 (* The eager context must agree with the interpreter on private-only
@@ -405,6 +633,8 @@ let () =
       ("core-counts", core_count_tests);
       ("invariants", invariant_tests);
       ("fault-injection", fault_tests);
+      ("robustness", robustness_tests);
+      ("depcheck", depcheck_tests);
       ("context", context_tests);
     ]
 

@@ -10,9 +10,15 @@
    (interpreter, compiler, ring network, caches, core models) so
    performance regressions in the simulator are visible.
 
+   Between the two parts an engine A/B run times the legacy and event
+   simulation engines over the CINT set and writes BENCH_engine.json
+   (simulated cycles per host second for each).
+
    Set HELIX_BENCH_QUICK=1 to restrict part 1 to the CINT models.
    Set HELIX_BENCH_METRICS_DIR=<dir> to also dump each figure's table as
-   <dir>/<figure>.json for machine consumption (CI trend tracking). *)
+   <dir>/<figure>.json for machine consumption (CI trend tracking).
+   Set HELIX_BENCH_SECTIONS to a comma list of figures,engine,micro to
+   run a subset (default: all three). *)
 
 open Helix_ir
 open Helix_hcc
@@ -26,6 +32,13 @@ let quick = Sys.getenv_opt "HELIX_BENCH_QUICK" <> None
 let workloads = if quick then Registry.integer else Registry.all
 
 let metrics_dir = Sys.getenv_opt "HELIX_BENCH_METRICS_DIR"
+
+let sections =
+  match Sys.getenv_opt "HELIX_BENCH_SECTIONS" with
+  | None -> [ "figures"; "engine"; "micro" ]
+  | Some s -> String.split_on_char ',' (String.trim s)
+
+let wants s = List.mem s sections
 
 (* Print a figure's table and, when HELIX_BENCH_METRICS_DIR is set, dump
    it as <dir>/<name>.json too. *)
@@ -69,12 +82,138 @@ let part1 () =
   emit "tlp" (Tlp_study.report (Tlp_study.run ()));
   emit "ablations" (Ablations.report (Ablations.run ()))
 
+(* ---- engine A/B: simulated cycles per second ------------------------- *)
+
+(* Wall-clock both engines over the CINT set in the two configurations
+   every figure pairs (HELIX ring-decoupled and conventional coupled)
+   and record simulated cycles per host second.  Results are
+   bit-identical by construction (test/test_engine.ml proves it), so
+   the ratio event/legacy is the event engine's figure of merit.  The
+   table lands in BENCH_engine.json so the perf trajectory has data. *)
+
+let engine_ab () =
+  Fmt.pr "@.== engine A/B: simulated cycles/sec (CINT set) ==@.";
+  let wls = Registry.integer in
+  (* compile once, outside the timed region: only simulation is measured *)
+  let prepared =
+    List.map
+      (fun (wl : Workload.t) ->
+        let s = wl.Workload.build () in
+        let c =
+          Hcc.compile
+            (Hcc_config.v3 ())
+            s.Workload.prog s.Workload.layout
+            ~train_mem:(s.Workload.init Workload.Train)
+        in
+        (wl, c, fun () -> s.Workload.init Workload.Ref))
+      wls
+  in
+  let cfg_pairs =
+    [
+      ( Exp_common.helix_cfg ~engine:Helix_engine.Engine.Legacy (),
+        Exp_common.helix_cfg ~engine:Helix_engine.Engine.Event () );
+      ( Exp_common.conventional_cfg ~engine:Helix_engine.Engine.Legacy (),
+        Exp_common.conventional_cfg ~engine:Helix_engine.Engine.Event () );
+    ]
+  in
+  let time_one cfg (c, fresh_mem) =
+    let mem = fresh_mem () in
+    let t0 = Unix.gettimeofday () in
+    let r = Executor.run ~compiled:c cfg c.Hcc.cp_prog mem in
+    (r.Executor.r_cycles, Unix.gettimeofday () -. t0)
+  in
+  (* Alternate the engines per (workload, config) point and keep each
+     side's best of three: host-load drift and GC phase otherwise swamp
+     the signal.  Cycle totals are engine-independent (bit-identical
+     results), so accumulating them from one side is enough. *)
+  let total_cycles = ref 0 in
+  let l_dt = ref 0.0 and e_dt = ref 0.0 in
+  List.iter
+    (fun (_, c, fresh_mem) ->
+      let p = (c, fresh_mem) in
+      List.iter
+        (fun (legacy_cfg, event_cfg) ->
+          ignore (time_one legacy_cfg p) (* warmup *);
+          let l_best = ref infinity and e_best = ref infinity in
+          let cycles = ref 0 in
+          for _ = 1 to 3 do
+            let lc, ld = time_one legacy_cfg p in
+            let _, ed = time_one event_cfg p in
+            cycles := lc;
+            if ld < !l_best then l_best := ld;
+            if ed < !e_best then e_best := ed
+          done;
+          total_cycles := !total_cycles + !cycles;
+          l_dt := !l_dt +. !l_best;
+          e_dt := !e_dt +. !e_best)
+        cfg_pairs)
+    prepared;
+  let l_cycles = !total_cycles and e_cycles = !total_cycles in
+  let l_dt = !l_dt and e_dt = !e_dt in
+  let rate cycles dt = float_of_int cycles /. Float.max dt 1e-9 in
+  let l_rate = rate l_cycles l_dt and e_rate = rate e_cycles e_dt in
+  let speedup = e_rate /. Float.max l_rate 1e-9 in
+  Fmt.pr "  legacy: %d cycles in %.3fs = %.0f cycles/sec@." l_cycles l_dt
+    l_rate;
+  Fmt.pr "  event:  %d cycles in %.3fs = %.0f cycles/sec@." e_cycles e_dt
+    e_rate;
+  Fmt.pr "  event/legacy: %.2fx@." speedup;
+  let json =
+    Helix_obs.Json.Obj
+      [
+        ("bench", Helix_obs.Json.String "engine-ab");
+        ( "workloads",
+          Helix_obs.Json.List
+            (List.map
+               (fun (wl, _, _) -> Helix_obs.Json.String wl.Workload.name)
+               prepared) );
+        ( "legacy",
+          Helix_obs.Json.Obj
+            [
+              ("cycles", Helix_obs.Json.Int l_cycles);
+              ("seconds", Helix_obs.Json.Float l_dt);
+              ("cycles_per_sec", Helix_obs.Json.Float l_rate);
+            ] );
+        ( "event",
+          Helix_obs.Json.Obj
+            [
+              ("cycles", Helix_obs.Json.Int e_cycles);
+              ("seconds", Helix_obs.Json.Float e_dt);
+              ("cycles_per_sec", Helix_obs.Json.Float e_rate);
+            ] );
+        ("event_over_legacy", Helix_obs.Json.Float speedup);
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Helix_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
 (* ---- part 2: substrate micro-benchmarks ------------------------------- *)
 
 let quickstart_prog () =
   let wl = Registry.find "164.gzip" in
   let s = wl.Workload.build () in
   (s.Workload.prog, s.Workload.layout, s.Workload.init Workload.Train)
+
+(* Stall-heavy workload for the engine fast-forward benches, compiled
+   once so only the run loop is measured. *)
+let mcf_prepared =
+  lazy
+    (let wl = Registry.find "181.mcf" in
+     let s = wl.Workload.build () in
+     let c =
+       Hcc.compile
+         (Hcc_config.v3 ())
+         s.Workload.prog s.Workload.layout
+         ~train_mem:(s.Workload.init Workload.Train)
+     in
+     (c, fun () -> s.Workload.init Workload.Ref))
+
+let run_mcf engine =
+  let c, fresh_mem = Lazy.force mcf_prepared in
+  let cfg = Exp_common.helix_cfg ~engine () in
+  ignore (Executor.run ~compiled:c cfg c.Hcc.cp_prog (fresh_mem ()))
 
 let bench_tests =
   let open Bechamel in
@@ -189,6 +328,29 @@ let bench_tests =
                  (Helix_analysis.Depend.compute Helix_analysis.Alias.best prog
                     f lp))
              (Helix_analysis.Loops.loops lt)));
+    Test.make ~name:"engine: legacy per-cycle, mcf (stall-heavy)"
+      (Staged.stage (fun () -> run_mcf Helix_engine.Engine.Legacy));
+    Test.make ~name:"engine: event fast-forward, mcf (stall-heavy)"
+      (Staged.stage (fun () -> run_mcf Helix_engine.Engine.Event));
+    Test.make ~name:"pool: 4 interp runs, 1 job"
+      (Staged.stage (fun () ->
+           Exp_common.Pool.set_jobs 1;
+           let prog, _, mem = quickstart_prog () in
+           ignore
+             (Exp_common.Pool.map
+                (fun _ -> Interp.run prog (Helix_ir.Memory.copy mem))
+                [ 0; 1; 2; 3 ])));
+    Test.make ~name:"pool: 4 interp runs, 2 jobs"
+      (Staged.stage (fun () ->
+           Exp_common.Pool.set_jobs 2;
+           Fun.protect
+             ~finally:(fun () -> Exp_common.Pool.set_jobs 1)
+             (fun () ->
+               let prog, _, mem = quickstart_prog () in
+               ignore
+                 (Exp_common.Pool.map
+                    (fun _ -> Interp.run prog (Helix_ir.Memory.copy mem))
+                    [ 0; 1; 2; 3 ]))));
   ]
 
 let part2 () =
@@ -214,6 +376,7 @@ let part2 () =
     results
 
 let () =
-  part1 ();
-  part2 ();
+  if wants "figures" then part1 ();
+  if wants "engine" then engine_ab ();
+  if wants "micro" then part2 ();
   Fmt.pr "@.done.@."

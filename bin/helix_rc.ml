@@ -28,6 +28,16 @@ let quick =
 
 let pick_workloads quick = if quick then Registry.integer else Registry.all
 
+let jobs_arg =
+  let doc =
+    "Evaluate independent figure points on up to $(docv) host cores \
+     (OCaml domains).  Defaults to the HELIX_BENCH_JOBS environment \
+     variable, or 1 (strictly sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let set_jobs = function Some n -> Exp_common.Pool.set_jobs n | None -> ()
+
 (* ---- experiment commands ---- *)
 
 let experiment name runner =
@@ -35,10 +45,11 @@ let experiment name runner =
   Cmd.v
     (Cmd.info (String.lowercase_ascii name) ~doc)
     Term.(
-      const (fun quick ->
+      const (fun quick jobs ->
+          set_jobs jobs;
           runner ~workloads:(pick_workloads quick) ();
           `Ok ())
-      $ quick |> ret)
+      $ quick $ jobs_arg |> ret)
 
 let fig1_cmd =
   experiment "Fig1" (fun ~workloads () ->
@@ -117,7 +128,8 @@ let all_cmd =
   let doc = "Regenerate every table and figure (the full evaluation)." in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const (fun quick ->
+      const (fun quick jobs ->
+          set_jobs jobs;
           let workloads = pick_workloads quick in
           Report.print (Fig1.report (Fig1.run ~workloads ()));
           Report.print (Fig2.report (Fig2.run ()));
@@ -143,7 +155,7 @@ let all_cmd =
           Report.print (Tlp_study.report (Tlp_study.run ()));
           Report.print (Ablations.report (Ablations.run ()));
           `Ok ())
-      $ quick |> ret)
+      $ quick $ jobs_arg |> ret)
 
 (* ---- inspection commands ---- *)
 
@@ -243,21 +255,39 @@ let jitter_arg =
   in
   Arg.(value & opt (some int) None & info [ "jitter" ] ~docv:"SEED" ~doc)
 
-(* HELIX-RC run honouring --trace/--check/--strict/--jitter: any of them
-   bypasses the memo cache (the cached result has no events attached and
-   was produced under the unperturbed, unchecked configuration). *)
-let run_helix_obs wl ~trace ~check ~strict ~jitter =
+let engine_arg =
+  let doc =
+    "Simulation engine: $(b,legacy) ticks every cycle, $(b,event) \
+     fast-forwards across provably idle cycle windows.  Results are \
+     bit-identical; only wall-clock differs.  Defaults to the \
+     HELIX_ENGINE environment variable, or $(b,event)."
+  in
+  let econv =
+    Arg.conv
+      ( (fun s ->
+          match Helix_engine.Engine.kind_of_string s with
+          | Some k -> Ok k
+          | None -> Error (`Msg ("unknown engine " ^ s ^ " (legacy|event)"))),
+        fun ppf k -> Fmt.string ppf (Helix_engine.Engine.kind_to_string k) )
+  in
+  Arg.(value & opt (some econv) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(* HELIX-RC run honouring --trace/--check/--strict/--jitter/--engine: any
+   of them bypasses the memo cache (the cached result has no events
+   attached and was produced under the unperturbed, unchecked, default
+   configuration). *)
+let run_helix_obs wl ~trace ~check ~strict ~jitter ~engine =
   let robust =
     if strict then
       Some { Executor.checked with Executor.strict = true; fallback = false }
     else if check then Some Executor.checked
     else None
   in
-  if trace = None && robust = None && jitter = None then
+  if trace = None && robust = None && jitter = None && engine = None then
     Exp_common.run_helix wl Exp_common.V3
   else
     Exp_common.parallel ~cache:false ~tag:"helix-robust" wl Exp_common.V3
-      (Exp_common.helix_cfg ?trace ?robust ?jitter_seed:jitter ())
+      (Exp_common.helix_cfg ?trace ?robust ?jitter_seed:jitter ?engine ())
 
 let dump_obs (par : Executor.result) ~trace_sink ~metrics_sink trace =
   (match (trace_sink, trace) with
@@ -285,7 +315,7 @@ let run_cmd =
   let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun wl trace_file metrics_file check strict jitter ->
+      const (fun wl trace_file metrics_file check strict jitter engine ->
           match (open_sink trace_file, open_sink metrics_file) with
           | Error m, _ | _, Error m -> `Error (false, m)
           | Ok trace_sink, Ok metrics_sink ->
@@ -297,7 +327,7 @@ let run_cmd =
               let par =
                 (* on Stuck, flush the trace collected so far: it is the
                    diagnostic artifact CI uploads *)
-                try run_helix_obs wl ~trace:tr ~check ~strict ~jitter
+                try run_helix_obs wl ~trace:tr ~check ~strict ~jitter ~engine
                 with Executor.Stuck _ as e ->
                   (match (trace_sink, tr) with
                   | Some (file, oc), Some t ->
@@ -328,7 +358,7 @@ let run_cmd =
               end;
               `Ok ())
       $ wl $ trace_arg $ metrics_arg $ check_arg $ strict_arg $ jitter_arg
-      |> ret)
+      $ engine_arg |> ret)
 
 let overhead_cmd =
   let doc = "Show the Figure-12 overhead taxonomy for one workload." in
@@ -355,7 +385,7 @@ let stats_cmd =
   let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const (fun wl trace_file metrics_file ->
+      const (fun wl trace_file metrics_file engine ->
           match (open_sink trace_file, open_sink metrics_file) with
           | Error m, _ | _, Error m -> `Error (false, m)
           | Ok trace_sink, Ok metrics_sink ->
@@ -365,6 +395,7 @@ let stats_cmd =
           in
           let par =
             run_helix_obs wl ~trace:tr ~check:false ~strict:false ~jitter:None
+              ~engine
           in
           Fmt.pr "%s: %d cycles (%d serial, %d parallel), %d instructions@."
             wl.Workload.name par.Executor.r_cycles
@@ -394,7 +425,7 @@ let stats_cmd =
             par.Executor.r_max_outstanding_signals;
           dump_obs par ~trace_sink ~metrics_sink tr;
           `Ok ())
-      $ wl $ trace_arg $ metrics_arg |> ret)
+      $ wl $ trace_arg $ metrics_arg $ engine_arg |> ret)
 
 let list_cmd =
   let doc = "List the available workload models." in

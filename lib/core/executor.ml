@@ -2,6 +2,7 @@ open Helix_ir
 open Helix_machine
 open Helix_ring
 open Helix_hcc
+module Engine = Helix_engine.Engine
 module Trace = Helix_obs.Trace
 module Metrics = Helix_obs.Metrics
 module Json = Helix_obs.Json
@@ -68,10 +69,23 @@ type config = {
          stuck; tests lower it to exercise the deadlock report *)
   trace : Trace.t option;
   robust : robustness;
+  engine : Engine.kind;
 }
 
+(* The event engine is the default: its results are bit-identical to
+   the legacy per-cycle loop (asserted by the differential test suite),
+   it is just faster.  HELIX_ENGINE=legacy flips every run back for
+   A/B comparison without touching call sites. *)
+let default_engine =
+  match Sys.getenv_opt "HELIX_ENGINE" with
+  | Some s -> (
+      match Engine.kind_of_string (String.lowercase_ascii (String.trim s)) with
+      | Some k -> k
+      | None -> Engine.Event)
+  | None -> Engine.Event
+
 let default_config ?(ring = true) ?(comm = fully_decoupled) ?trace
-    ?(robust = no_robustness) mach =
+    ?(robust = no_robustness) ?(engine = default_engine) mach =
   {
     mach;
     ring_cfg =
@@ -83,6 +97,7 @@ let default_config ?(ring = true) ?(comm = fully_decoupled) ?trace
     watchdog_cycles = 2_000_000;
     trace;
     robust;
+    engine;
   }
 
 type invocation_record = {
@@ -175,6 +190,19 @@ type t = {
   mutable done_ : bool;
   mutable ret : int option;
   mutable max_outstanding : int;
+  (* watchdog state: the monotonic [total_retired] counter is bumped by
+     every core at retirement time (via [Stats.retire]), replacing the
+     per-cycle fold over all cores' stats *)
+  total_retired : int ref;
+  mutable last_progress : int;
+  mutable last_retired : int;
+  (* event-engine state: upcoming conventional-signal visibility cycles
+     (monotone FIFO; only fed when signals bypass the ring) and the
+     scheduler-visible iteration-scheduling signature of the previous
+     cycle, to veto fast-forwarding across a supply-unblocking change *)
+  conv_vis : int Queue.t;
+  mutable sched_sig : bool * int * int * int * int * bool;
+  mutable sched_changed : bool;
   (* conventional signalling: (seg, origin) -> store cycles, in order *)
   conv_signals : (int * int, int list ref) Hashtbl.t;
   (* addresses of demoted-register cells, for routing *)
@@ -211,7 +239,12 @@ let conv_signal_record t ~seg ~origin ~cycle =
         Hashtbl.replace t.conv_signals key l;
         l
   in
-  cell := cycle :: !cell (* newest first *)
+  cell := cycle :: !cell (* newest first *);
+  (* publish the cycle at which this signal becomes visible to waiters,
+     for the event engine: a fast-forward must not cross it.  Record
+     cycles are nondecreasing, so the queue stays sorted. *)
+  Queue.add (cycle + (2 * t.cfg.mach.Mach_config.mem.Mach_config.c2c_latency))
+    t.conv_vis
 
 (* Is the [threshold]-th (1-based) signal visible at [cycle], given the
    cache-to-cache visibility latency? *)
@@ -506,6 +539,7 @@ let begin_parallel t (pl : Parallel_loop.t) =
       pl.Parallel_loop.pl_shared_regs
   in
   Hashtbl.reset t.conv_signals;
+  Queue.clear t.conv_vis;
   for c = 0 to t.n - 1 do
     let w =
       {
@@ -664,6 +698,7 @@ let do_fallback t (ps : par_state) ~reason =
   (match t.ring with Some r -> Ring.abort r | None -> ());
   Memory.restore t.mem ~from:cp;
   Hashtbl.reset t.conv_signals;
+  Queue.clear t.conv_vis;
   for c = 0 to t.n - 1 do
     t.workers.(c) <- None
   done;
@@ -858,6 +893,12 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
       done_ = false;
       ret = None;
       max_outstanding = 0;
+      total_retired = ref 0;
+      last_progress = 0;
+      last_retired = -1;
+      conv_vis = Queue.create ();
+      sched_sig = (false, 0, 0, 0, 0, false);
+      sched_changed = false;
       conv_signals = Hashtbl.create 64;
       reg_cells;
       depcheck = Depcheck.create ();
@@ -895,10 +936,37 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
         (fun ~cycle ~tag op ->
           let t = Option.get !t_ref in
           shared_op t ~core ~cycle ~tag op);
+      sup_settled =
+        (fun () ->
+          let t = Option.get !t_ref in
+          match t.phase with
+          | Serial ->
+              (* a [None] from the serial supply means the serial context
+                 is not [Running] (or the core is stall-gated, whose
+                 release cycle the scheduler publishes): repeat pulls are
+                 pure *)
+              true
+          | Parallel ps -> (
+              match t.workers.(core) with
+              | None -> true
+              | Some w -> (
+                  match Context.status w.w_ctx with
+                  | Context.Finished _ ->
+                      (* the next pull runs [finish_iteration] and/or
+                         starts the next assigned iteration: only pure if
+                         both are out of the picture.  [can_start]'s time
+                         gate is safe because the scheduler publishes
+                         [ps_start_cycle] as a wake-up. *)
+                      (not w.w_running_iter)
+                      && not (can_start t ps ((w.w_local_iter * t.n) + w.w_core))
+                  | Context.Blocked | Context.Suspended _ -> true
+                  | Context.Running -> false)));
     }
   in
   t.mk_core <-
-    (fun c -> Core.create cfg.mach.Mach_config.core (supply_for c));
+    (fun c ->
+      Core.create ~retired_sink:t.total_retired cfg.mach.Mach_config.core
+        (supply_for c));
   t.cores <- Array.init n t.mk_core;
   t
 
@@ -1007,78 +1075,193 @@ let stuck_snapshot t ~reason : Json.t =
 
 (* ---- main loop ---- *)
 
+(* The scheduler's view of iteration-scheduling state: if any of this
+   changed during a cycle (workers finishing iterations, conditional
+   continue-prefix growth, phase transitions), another core's uop supply
+   may unblock on the very next cycle, so the engine must not
+   fast-forward across it. *)
+let sched_signature t =
+  match t.phase with
+  | Serial -> (false, 0, 0, 0, 0, false)
+  | Parallel ps ->
+      ( true,
+        ps.ps_entry_cycle,
+        ps.ps_started,
+        ps.ps_finished,
+        ps.ps_contig,
+        ps.ps_stopped )
+
+(* Everything the legacy loop body did besides ring/core ticks: the
+   progress watchdog and the phase state machine.  Runs as the last
+   engine component, in the exact position the legacy loop had it. *)
+let sched_tick t ~cycle =
+  (* progress watchdog over the monotonic retirement counter *)
+  let retired = !(t.total_retired) in
+  if retired <> t.last_retired || cycle < t.serial_stall_until then begin
+    (* a stalled serial core (flush or fallback re-execution charge) is
+       deliberate progress-free time, not a wedge *)
+    t.last_retired <- retired;
+    t.last_progress <- cycle
+  end
+  else if cycle - t.last_progress > t.cfg.watchdog_cycles then begin
+    let reason =
+      Printf.sprintf "no retirement progress since cycle %d (now %d)"
+        t.last_progress cycle
+    in
+    Trace.stuck t.cfg.trace ~cycle
+      ~phase:(match t.phase with Serial -> "serial" | Parallel _ -> "parallel");
+    Trace.emit t.cfg.trace ~cycle ~kind:"stuck_snapshot"
+      [ ("snapshot", stuck_snapshot t ~reason) ];
+    match t.phase with
+    | Parallel ps when t.cfg.robust.fallback && ps.ps_checkpoint <> None ->
+        (* a wedged parallel invocation degrades to sequential *)
+        do_fallback t ps ~reason:"deadlock";
+        t.last_progress <- cycle
+    | _ -> raise (Stuck (Deadlock, stuck_report t ~reason))
+  end;
+  (* phase transitions *)
+  (match t.phase with
+  | Serial -> begin
+      t.serial_cycles <- t.serial_cycles + 1;
+      match Context.status t.serial_ctx with
+      | Context.Suspended trig when Core.quiescent t.cores.(0) -> begin
+          match
+            find_loop t ~func:trig.Context.p_func ~header:trig.Context.p_header
+          with
+          | Some pl -> begin_parallel t pl
+          | None ->
+              (* spurious trigger: resume where we stopped *)
+              Context.jump_to t.serial_ctx trig.Context.p_header
+        end
+      | Context.Finished rv when Core.quiescent t.cores.(0) ->
+          t.ret <- rv;
+          t.done_ <- true
+      | _ -> ()
+    end
+  | Parallel ps ->
+      t.parallel_cycles <- t.parallel_cycles + 1;
+      if parallel_done t ps then end_parallel t ps);
+  let s = sched_signature t in
+  t.sched_changed <- s <> t.sched_sig;
+  t.sched_sig <- s
+
+(* Earliest future cycle at which the scheduler itself could act.  The
+   returned cycle is always finite (the watchdog trigger bounds it), so
+   runaway skips are impossible. *)
+let sched_next_event t ~now =
+  if t.done_ || t.sched_changed then Some now
+  else begin
+    let w = ref max_int in
+    let add c = if c >= now && c < !w then w := c in
+    (* serial-core stall release (flush / fallback re-execution charge).
+       The release cycle itself must be ticked: the serial core's supply
+       unblocks on it, and the core may already be idle-settled *)
+    if t.serial_stall_until >= now then add t.serial_stall_until;
+    (* parallel-phase setup-latency release: the release cycle itself
+       must be ticked, like the serial stall above — an idle-settled
+       core's [can_start] flips exactly there *)
+    (match t.phase with
+    | Parallel ps -> if ps.ps_start_cycle >= now then add ps.ps_start_cycle
+    | Serial -> ());
+    (* conventional-mode signal visibility boundaries *)
+    let rec conv () =
+      match Queue.peek_opt t.conv_vis with
+      | Some v when v < now ->
+          ignore (Queue.pop t.conv_vis);
+          conv ()
+      | Some v -> add v
+      | None -> ()
+    in
+    conv ();
+    (* watchdog trigger: within a serial stall window last_progress
+       tracks the clock up to serial_stall_until - 1 *)
+    let lp =
+      if t.serial_stall_until > now then
+        max t.last_progress (t.serial_stall_until - 1)
+      else t.last_progress
+    in
+    add (max now (lp + t.cfg.watchdog_cycles + 1));
+    Some !w
+  end
+
+(* Charge the skipped window [now .. now + cycles - 1] exactly as the
+   per-cycle loop would have: phase counters every cycle, and watchdog
+   progress credit while the serial core is deliberately stalled. *)
+let sched_skip t ~now ~cycles =
+  (match t.phase with
+  | Serial -> t.serial_cycles <- t.serial_cycles + cycles
+  | Parallel _ -> t.parallel_cycles <- t.parallel_cycles + cycles);
+  if t.serial_stall_until > now then
+    t.last_progress <- min (now + cycles - 1) (t.serial_stall_until - 1)
+
+let components t =
+  let noop_skip ~now:_ ~cycles:_ = () in
+  let governor =
+    {
+      Engine.cp_name = "governor";
+      cp_tick =
+        (fun ~cycle ->
+          if cycle > t.cfg.fuel then begin
+            Trace.stuck t.cfg.trace ~cycle ~phase:"fuel";
+            raise
+              (Stuck
+                 ( Fuel,
+                   stuck_report t
+                     ~reason:
+                       (Printf.sprintf "cycle fuel exhausted (fuel=%d)"
+                          t.cfg.fuel) ))
+          end);
+      (* the fuel check must run at cycle fuel+1: cap every skip there *)
+      cp_next_event = (fun ~now -> Some (max now (t.cfg.fuel + 1)));
+      cp_skip = noop_skip;
+    }
+  in
+  let ring =
+    match t.ring with
+    | None -> []
+    | Some r ->
+        [
+          {
+            Engine.cp_name = "ring";
+            cp_tick = (fun ~cycle -> Ring.tick r ~cycle);
+            cp_next_event = (fun ~now -> Ring.next_event r ~now);
+            cp_skip = noop_skip;
+          };
+        ]
+  in
+  (* read [t.cores.(i)] on every call: fallback rebuilds the array *)
+  let core i =
+    {
+      Engine.cp_name = Printf.sprintf "core.%d" i;
+      cp_tick = (fun ~cycle -> Core.tick t.cores.(i) cycle);
+      cp_next_event = (fun ~now -> Core.next_event t.cores.(i) ~now);
+      cp_skip = (fun ~now ~cycles -> Core.skip t.cores.(i) ~now ~cycles);
+    }
+  in
+  let hier =
+    {
+      (Engine.passive "hier") with
+      Engine.cp_next_event = (fun ~now -> Hierarchy.next_event t.hier ~now);
+    }
+  in
+  let sched =
+    {
+      Engine.cp_name = "sched";
+      cp_tick = (fun ~cycle -> sched_tick t ~cycle);
+      cp_next_event = (fun ~now -> sched_next_event t ~now);
+      cp_skip = (fun ~now ~cycles -> sched_skip t ~now ~cycles);
+    }
+  in
+  (governor :: ring) @ List.init t.n core @ [ hier; sched ]
+
 let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
     =
   let t = create ?compiled cfg prog mem in
   Context.start t.serial_ctx prog.Ir.p_main [];
-  let last_progress = ref 0 in
-  let last_retired = ref (-1) in
+  let eng = Engine.create ~kind:cfg.engine ~clock:t.now () in
+  List.iter (Engine.register eng) (components t);
   while not t.done_ do
-    let cycle = !(t.now) in
-    if cycle > t.cfg.fuel then begin
-      Trace.stuck t.cfg.trace ~cycle ~phase:"fuel";
-      raise
-        (Stuck
-           ( Fuel,
-             stuck_report t
-               ~reason:
-                 (Printf.sprintf "cycle fuel exhausted (fuel=%d)" t.cfg.fuel)
-           ))
-    end;
-    (match t.ring with Some r -> Ring.tick r ~cycle | None -> ());
-    Array.iter (fun c -> Core.tick c cycle) t.cores;
-    (* progress watchdog *)
-    let retired =
-      Array.fold_left
-        (fun acc c -> acc + (Core.stats c).Stats.retired)
-        0 t.cores
-    in
-    if retired <> !last_retired || cycle < t.serial_stall_until then begin
-      (* a stalled serial core (flush or fallback re-execution charge) is
-         deliberate progress-free time, not a wedge *)
-      last_retired := retired;
-      last_progress := cycle
-    end
-    else if cycle - !last_progress > t.cfg.watchdog_cycles then begin
-      let reason =
-        Printf.sprintf "no retirement progress since cycle %d (now %d)"
-          !last_progress cycle
-      in
-      Trace.stuck t.cfg.trace ~cycle
-        ~phase:(match t.phase with Serial -> "serial" | Parallel _ -> "parallel");
-      Trace.emit t.cfg.trace ~cycle ~kind:"stuck_snapshot"
-        [ ("snapshot", stuck_snapshot t ~reason) ];
-      match t.phase with
-      | Parallel ps when t.cfg.robust.fallback && ps.ps_checkpoint <> None ->
-          (* a wedged parallel invocation degrades to sequential *)
-          do_fallback t ps ~reason:"deadlock";
-          last_progress := cycle
-      | _ -> raise (Stuck (Deadlock, stuck_report t ~reason))
-    end;
-    (* phase transitions *)
-    (match t.phase with
-    | Serial -> begin
-        t.serial_cycles <- t.serial_cycles + 1;
-        match Context.status t.serial_ctx with
-        | Context.Suspended trig when Core.quiescent t.cores.(0) -> begin
-            match
-              find_loop t ~func:trig.Context.p_func
-                ~header:trig.Context.p_header
-            with
-            | Some pl -> begin_parallel t pl
-            | None ->
-                (* spurious trigger: resume where we stopped *)
-                Context.jump_to t.serial_ctx trig.Context.p_header
-          end
-        | Context.Finished rv when Core.quiescent t.cores.(0) ->
-            t.ret <- rv;
-            t.done_ <- true
-        | _ -> ()
-      end
-    | Parallel ps ->
-        t.parallel_cycles <- t.parallel_cycles + 1;
-        if parallel_done t ps then end_parallel t ps);
-    incr t.now
+    Engine.step eng
   done;
   (* cores discarded by fallbacks contribute their statistics too *)
   let all_stats =
@@ -1105,6 +1288,13 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
     Metrics.set_int m "exec.fallbacks" t.fallbacks;
     Metrics.set_int m "exec.violations" t.violations;
     Metrics.set_int m "exec.retired" total_retired;
+    (* engine-specific counters: excluded from cross-engine metric
+       comparisons (everything else must be bit-identical) *)
+    Metrics.set_int m "engine.kind"
+      (match Engine.kind eng with Engine.Legacy -> 0 | Engine.Event -> 1);
+    Metrics.set_int m "engine.steps" (Engine.steps eng);
+    Metrics.set_int m "engine.fast_forwards" (Engine.fast_forwards eng);
+    Metrics.set_int m "engine.skipped_cycles" (Engine.skipped_cycles eng);
     m
   in
   {

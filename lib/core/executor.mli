@@ -62,11 +62,20 @@ type config = {
           [Stuck] (default 2M; tests lower it to force cheap wedges) *)
   trace : Helix_obs.Trace.t option;  (** event trace sink, off by default *)
   robust : robustness;
+  engine : Helix_engine.Engine.kind;
+      (** [Event] (the default) fast-forwards over provably dead cycle
+          windows; results are bit-identical to [Legacy], which ticks
+          every cycle.  Overridable via [HELIX_ENGINE=legacy|event]. *)
 }
+
+val default_engine : Helix_engine.Engine.kind
+(** [Event], unless the [HELIX_ENGINE] environment variable says
+    [legacy]. *)
 
 val default_config :
   ?ring:bool -> ?comm:comm_mode -> ?trace:Helix_obs.Trace.t ->
-  ?robust:robustness -> Mach_config.t -> config
+  ?robust:robustness -> ?engine:Helix_engine.Engine.kind ->
+  Mach_config.t -> config
 
 type invocation_record = {
   inv_loop : int;

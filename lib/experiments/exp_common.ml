@@ -18,7 +18,67 @@ let config_of = function
   | V2 -> Hcc_config.v2
   | V3 -> Hcc_config.v3
 
+(* ---- host-parallel evaluation pool (OCaml 5 domains) ----------------- *)
+
+(* Independent figure points share no simulator state (each run builds
+   its own program, memory and machine), so they can evaluate on
+   separate host cores.  [Pool.map] preserves order and re-raises the
+   first exception after all domains join.  Jobs come from
+   HELIX_BENCH_JOBS or the CLI's [-j]; the default of 1 keeps every
+   existing entry point strictly sequential. *)
+module Pool = struct
+  let env_jobs =
+    match Sys.getenv_opt "HELIX_BENCH_JOBS" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> 1
+
+  let jobs_ref = ref env_jobs
+  let set_jobs n = jobs_ref := max 1 n
+  let jobs () = !jobs_ref
+
+  let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+    (* cap at the host's useful parallelism: extra domains on a small
+       host only add GC coordination overhead *)
+    let j = min (jobs ()) (Domain.recommended_domain_count ()) in
+    let n = List.length xs in
+    if j <= 1 || n <= 1 then List.map f xs
+    else begin
+      let arr = Array.of_list xs in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue_ := false
+          else
+            results.(i) <-
+              Some (try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ()))
+        done
+      in
+      let spawned = List.init (min j n - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+    end
+end
+
 (* ---- memo tables --------------------------------------------------- *)
+
+(* The caches are shared across pool domains; Hashtbl is not
+   thread-safe, so every access goes through [memo_lock].  Lookup and
+   store are locked separately: two domains may race to compute the
+   same key, which costs a duplicate simulation but never corrupts the
+   table (both compute identical results). *)
+let memo_mutex = Mutex.create ()
+
+let memo_lock f =
+  Mutex.lock memo_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_mutex) f
 
 let seq_cache : (string * string, Executor.result) Hashtbl.t =
   Hashtbl.create 16
@@ -40,14 +100,14 @@ let core_kind_name (c : Mach_config.core_config) =
 let sequential ?(mach = Mach_config.default) (wl : Workload.t) :
     Executor.result =
   let key = (wl.Workload.name, core_kind_name mach.Mach_config.core) in
-  match Hashtbl.find_opt seq_cache key with
+  match memo_lock (fun () -> Hashtbl.find_opt seq_cache key) with
   | Some r -> r
   | None ->
       let s = wl.Workload.build () in
       let r =
         Helix.run_sequential mach s.Workload.prog (s.Workload.init Workload.Ref)
       in
-      Hashtbl.replace seq_cache key r;
+      memo_lock (fun () -> Hashtbl.replace seq_cache key r);
       r
 
 (* Compile [wl] with [version] targeting [cores]. *)
@@ -56,7 +116,7 @@ let compiled ?(cores = 16) (wl : Workload.t) (version : version) :
   let key =
     (wl.Workload.name, Printf.sprintf "%s/%d" (version_name version) cores)
   in
-  match Hashtbl.find_opt compiled_cache key with
+  match memo_lock (fun () -> Hashtbl.find_opt compiled_cache key) with
   | Some c -> c
   | None ->
       let s = wl.Workload.build () in
@@ -68,7 +128,7 @@ let compiled ?(cores = 16) (wl : Workload.t) (version : version) :
       in
       (* remember the init function via a fresh build (same deterministic
          data); store compiled only *)
-      Hashtbl.replace compiled_cache key c;
+      memo_lock (fun () -> Hashtbl.replace compiled_cache key c);
       c
 
 (* Reference-input memory for a compiled program (deterministic rebuild). *)
@@ -85,25 +145,29 @@ let parallel ?(cache = true) ~(tag : string) (wl : Workload.t)
       Printf.sprintf "%s/%d/%s" (version_name version)
         exec_cfg.Executor.mach.Mach_config.n_cores tag )
   in
-  match if cache then Hashtbl.find_opt par_cache key else None with
+  match
+    if cache then memo_lock (fun () -> Hashtbl.find_opt par_cache key)
+    else None
+  with
   | Some r -> r
   | None ->
       let c =
         compiled ~cores:exec_cfg.Executor.mach.Mach_config.n_cores wl version
       in
       let r = Executor.run ~compiled:c exec_cfg c.Hcc.cp_prog (ref_mem wl) in
-      if cache then Hashtbl.replace par_cache key r;
+      if cache then memo_lock (fun () -> Hashtbl.replace par_cache key r);
       r
 
 (* Canonical executor configurations *)
 
-let conventional_cfg ?(mach = Mach_config.default) () =
-  Executor.default_config ~ring:false ~comm:Executor.fully_coupled mach
+let conventional_cfg ?(mach = Mach_config.default) ?engine () =
+  Executor.default_config ~ring:false ~comm:Executor.fully_coupled ?engine mach
 
-let helix_cfg ?(mach = Mach_config.default) ?trace ?robust ?jitter_seed () =
+let helix_cfg ?(mach = Mach_config.default) ?trace ?robust ?jitter_seed
+    ?engine () =
   let cfg =
     Executor.default_config ~ring:true ~comm:Executor.fully_decoupled ?trace
-      ?robust mach
+      ?robust ?engine mach
   in
   match jitter_seed with
   | None -> cfg

@@ -12,7 +12,7 @@ type row = {
 }
 
 let run ?(workloads = Registry.all) () : row list =
-  List.map
+  Exp_common.Pool.map
     (fun wl ->
       let v1 =
         Exp_common.speedup_of wl (Exp_common.run_conventional wl Exp_common.V1)

@@ -11,7 +11,7 @@ type row = {
 }
 
 let run ?(workloads = Registry.all) () : row list =
-  List.map
+  Exp_common.Pool.map
     (fun wl ->
       let seq = Exp_common.sequential wl in
       let par = Exp_common.run_helix wl Exp_common.V3 in

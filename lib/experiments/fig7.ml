@@ -13,7 +13,7 @@ type row = {
 }
 
 let run ?(workloads = Registry.all) () : row list =
-  List.map
+  Exp_common.Pool.map
     (fun wl ->
       let v2 =
         Exp_common.speedup_of wl (Exp_common.run_conventional wl Exp_common.V2)

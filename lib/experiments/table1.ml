@@ -13,7 +13,7 @@ type row = {
 }
 
 let run ?(workloads = Registry.all) () : row list =
-  List.map
+  Exp_common.Pool.map
     (fun wl ->
       let cov v = (Exp_common.compiled wl v).Hcc.cp_coverage in
       {

@@ -5,14 +5,24 @@ type t =
   | In_order of Core_inorder.t
   | Out_of_order of Core_ooo.t
 
-let create (cfg : Mach_config.core_config) (supply : Core_model.supply) =
+let create ?retired_sink (cfg : Mach_config.core_config)
+    (supply : Core_model.supply) =
   match cfg.Mach_config.kind with
-  | Mach_config.In_order -> In_order (Core_inorder.create cfg supply)
-  | Mach_config.Out_of_order -> Out_of_order (Core_ooo.create cfg supply)
+  | Mach_config.In_order -> In_order (Core_inorder.create ?retired_sink cfg supply)
+  | Mach_config.Out_of_order ->
+      Out_of_order (Core_ooo.create ?retired_sink cfg supply)
 
 let tick = function
   | In_order c -> Core_inorder.tick c
   | Out_of_order c -> Core_ooo.tick c
+
+let next_event = function
+  | In_order c -> Core_inorder.next_event c
+  | Out_of_order c -> Core_ooo.next_event c
+
+let skip = function
+  | In_order c -> Core_inorder.skip c
+  | Out_of_order c -> Core_ooo.skip c
 
 let quiescent = function
   | In_order c -> Core_inorder.quiescent c

@@ -8,7 +8,13 @@
      core's L1 path and returns its latency;
    - [sup_shared] performs a shared-world operation *at this cycle*
      (ring-cache or coherent access, wait/signal, flush) and either
-     completes it with a latency or asks the core to retry next cycle. *)
+     completes it with a latency or asks the core to retry next cycle;
+   - [sup_settled] may only be consulted right after [sup_next] returned
+     [None]: [true] asserts that further [sup_next] calls are pure and
+     will keep returning [None] until some *other* component (scheduler,
+     ring, another core) changes shared state — the event engine uses it
+     to prove a core idle without waiting out the conservative
+     two-fruitless-pulls rule. *)
 
 type supply = {
   sup_next : unit -> Uop.t option;
@@ -16,6 +22,7 @@ type supply = {
   sup_shared : cycle:int -> tag:int -> Uop.shared_op -> Uop.shared_outcome;
       (* [tag] is the uop's [Uop.meta]: the iteration the operation
          belongs to *)
+  sup_settled : unit -> bool;
 }
 
 module type S = sig

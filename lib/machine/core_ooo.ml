@@ -33,13 +33,18 @@ type t = {
   mutable fetch_avail : int;
   mutable blocking_branch : entry option;  (* dispatch stalled until resolve *)
   mutable last_mem_order : entry option;
+  (* event-engine bookkeeping *)
+  mutable ne_progress : bool;  (* last tick committed/issued/dispatched *)
+  mutable ne_poked : bool;     (* quiescence probe dispatched after tick *)
+  mutable ne_supply_none : bool;  (* last dispatch ended on an empty pull *)
+  mutable ne_idle_ticks : int;    (* consecutive empty-pull ticks *)
 }
 
-let create cfg supply =
+let create ?retired_sink cfg supply =
   {
     cfg;
     supply;
-    stats = Stats.create ();
+    stats = Stats.create ?retired_sink ();
     predictor = Branch_pred.create ();
     reg_ready = Hashtbl.create 64;
     reg_writer = Hashtbl.create 64;
@@ -49,6 +54,10 @@ let create cfg supply =
     fetch_avail = 0;
     blocking_branch = None;
     last_mem_order = None;
+    ne_progress = false;
+    ne_poked = false;
+    ne_supply_none = false;
+    ne_idle_ticks = 0;
   }
 
 let reg_ready_at t r = try Hashtbl.find t.reg_ready r with Not_found -> 0
@@ -73,6 +82,7 @@ let is_head t (e : entry) =
 let dispatch t cycle =
   let n = ref 0 in
   let continue_ = ref true in
+  t.ne_supply_none <- false;
   while
     !continue_ && !n < t.cfg.Mach_config.width
     && t.window_size < t.cfg.Mach_config.window
@@ -80,7 +90,9 @@ let dispatch t cycle =
     && t.blocking_branch = None
   do
     match t.supply.Core_model.sup_next () with
-    | None -> continue_ := false
+    | None ->
+        t.ne_supply_none <- true;
+        continue_ := false
     | Some u ->
         let deps, fallback =
           List.fold_left
@@ -124,7 +136,8 @@ let dispatch t cycle =
         t.window <- t.window @ [ e ];
         t.window_size <- t.window_size + 1;
         incr n
-  done
+  done;
+  !n
 
 (* -- issue ----------------------------------------------------------- *)
 
@@ -206,7 +219,7 @@ let commit t cycle =
         t.window <- rest;
         t.window_size <- t.window_size - 1;
         incr n;
-        t.stats.Stats.retired <- t.stats.Stats.retired + 1;
+        Stats.retire t.stats;
         if Uop.is_sync e.u then
           t.stats.Stats.retired_sync <- t.stats.Stats.retired_sync + 1;
         (match e.u.Uop.dst with
@@ -229,10 +242,38 @@ let commit t cycle =
 
 (* -- one clock ------------------------------------------------------- *)
 
+(* Stall attribution when nothing committed/issued/dispatched this
+   cycle: read off the window head.  Shared with [skip], which charges
+   the same (frozen) state for every elided cycle. *)
+let stall_bucket t =
+  match t.window with
+  | [] -> Stats.Idle
+  | e :: _ -> begin
+      match (e.u.Uop.kind, e.issued) with
+      | Uop.Shared (Uop.S_wait _), false -> Stats.Dep_wait
+      | Uop.Shared _, false -> Stats.Communication
+      | (Uop.Load_priv _ | Uop.Store_priv _), true -> Stats.Mem_stall
+      | Uop.Shared (Uop.S_load _), true -> Stats.Communication
+      | _ -> Stats.Pipeline
+    end
+
 let tick t cycle =
+  t.ne_poked <- false;
   let committed = commit t cycle in
   let issued = issue t cycle in
-  dispatch t cycle;
+  let dispatched = dispatch t cycle in
+  t.ne_progress <- committed > 0 || issued > 0 || dispatched > 0;
+  (* Supply settledness: a single fruitless pull proves nothing (the
+     next pull may run [finish_iteration] or start an iteration — see
+     core_inorder.ml); the supply can often certify it directly
+     ([sup_settled]), otherwise two consecutive empty-pull ticks do.
+     Ticks whose dispatch never reached a pull (gated on window space,
+     the front end or a blocking branch) leave the supply state
+     unchanged. *)
+  if t.ne_supply_none then
+    if t.supply.Core_model.sup_settled () then t.ne_idle_ticks <- 2
+    else t.ne_idle_ticks <- (if dispatched > 0 then 1 else t.ne_idle_ticks + 1)
+  else if dispatched > 0 then t.ne_idle_ticks <- 0;
   let bucket =
     if issued > 0 || committed > 0 then begin
       (* busy unless purely synchronization is flowing *)
@@ -242,19 +283,41 @@ let tick t cycle =
       in
       if only_sync && issued > 0 then Stats.Sync_instr else Stats.Busy
     end
-    else
-      match t.window with
-      | [] -> Stats.Idle
-      | e :: _ -> begin
-          match (e.u.Uop.kind, e.issued) with
-          | Uop.Shared (Uop.S_wait _), false -> Stats.Dep_wait
-          | Uop.Shared _, false -> Stats.Communication
-          | (Uop.Load_priv _ | Uop.Store_priv _), true -> Stats.Mem_stall
-          | Uop.Shared (Uop.S_load _), true -> Stats.Communication
-          | _ -> Stats.Pipeline
-        end
+    else stall_bucket t
   in
   Stats.charge t.stats bucket
+
+(* ---- event-engine interface ------------------------------------------ *)
+
+(* Earliest future cycle at which this core could change state on its
+   own.  Candidates: the front-end redirect clearing (gates dispatch),
+   issued entries' completions (gate commit and dependents), and
+   unissued entries' committed-register ready times.  Entries blocked
+   only on the shared world contribute nothing: the executor and ring
+   publish those wake-ups themselves. *)
+let next_event t ~now =
+  if t.ne_progress || t.ne_poked then Some now
+  else if
+    (* dispatch is unblocked but the supply is not provably settled: the
+       very next pull may yield uops (or advance iteration scheduling) *)
+    t.ne_idle_ticks < 2
+    && t.window_size < t.cfg.Mach_config.window
+    && now >= t.fetch_avail
+    && t.blocking_branch = None
+  then Some now
+  else begin
+    let w = ref max_int in
+    let add c = if c >= now && c < !w then w := c in
+    add t.fetch_avail;
+    List.iter
+      (fun e ->
+        if e.issued then (if e.completion < max_int then add e.completion)
+        else List.iter (fun r -> add (reg_ready_at t r)) e.fallback_srcs)
+      t.window;
+    if !w < max_int then Some !w else None
+  end
+
+let skip t ~now:_ ~cycles = Stats.charge_n t.stats (stall_bucket t) cycles
 
 let quiescent t =
   t.window = []
@@ -283,6 +346,9 @@ let quiescent t =
       if is_store_like u then t.last_mem_order <- Some e;
       t.window <- [ e ];
       t.window_size <- 1;
+      (* the probe ran after this core's tick: the new entry has never
+         been attempted, so the engine must not fast-forward past it *)
+      t.ne_poked <- true;
       false
 
 let stats t = t.stats

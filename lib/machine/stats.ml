@@ -35,9 +35,13 @@ type t = {
   mutable shared_loads : int;
   mutable shared_stores : int;
   by_bucket : (bucket, int) Hashtbl.t;
+  retired_sink : int ref;
+      (* shared monotonic retirement counter, bumped on every [retire];
+         lets the executor's watchdog observe aggregate progress without
+         folding over all cores each cycle *)
 }
 
-let create () =
+let create ?(retired_sink = ref 0) () =
   {
     cycles = 0;
     retired = 0;
@@ -45,12 +49,27 @@ let create () =
     shared_loads = 0;
     shared_stores = 0;
     by_bucket = Hashtbl.create 7;
+    retired_sink;
   }
 
 let charge t bucket =
   t.cycles <- t.cycles + 1;
   Hashtbl.replace t.by_bucket bucket
     (1 + (try Hashtbl.find t.by_bucket bucket with Not_found -> 0))
+
+(* Charge [n] cycles to [bucket] at once: what a run of identical
+   per-cycle [charge] calls would record.  Used by the event engine when
+   it fast-forwards over a stall window. *)
+let charge_n t bucket n =
+  if n > 0 then begin
+    t.cycles <- t.cycles + n;
+    Hashtbl.replace t.by_bucket bucket
+      (n + (try Hashtbl.find t.by_bucket bucket with Not_found -> 0))
+  end
+
+let retire t =
+  t.retired <- t.retired + 1;
+  incr t.retired_sink
 
 let get t bucket = try Hashtbl.find t.by_bucket bucket with Not_found -> 0
 

@@ -20,10 +20,25 @@ type t = {
   mutable shared_loads : int;
   mutable shared_stores : int;
   by_bucket : (bucket, int) Hashtbl.t;
+  retired_sink : int ref;
 }
 
-val create : unit -> t
+val create : ?retired_sink:int ref -> unit -> t
+(** [retired_sink] (default: a private ref) is a shared monotonic
+    counter bumped by every {!retire}; the executor threads one ref
+    through all cores so its watchdog can observe aggregate retirement
+    progress in O(1) instead of folding over every core each cycle. *)
+
 val charge : t -> bucket -> unit
+
+val charge_n : t -> bucket -> int -> unit
+(** [charge_n t b n] records [n] cycles in bucket [b] — exactly what [n]
+    consecutive [charge t b] calls would.  Used when the event engine
+    fast-forwards over a stall window. *)
+
+val retire : t -> unit
+(** Count one retired uop, in both [t.retired] and the shared sink. *)
+
 val get : t -> bucket -> int
 val merge : t list -> t
 val fraction : t -> bucket -> float

@@ -478,6 +478,53 @@ let tick t ~cycle =
       end)
     t.nodes
 
+(* Event-engine contract: earliest future cycle at which the network can
+   make progress on its own; [Some now] = active, do not fast-forward;
+   [None] = fully drained (purely reactive: only a new injection from a
+   core can create work).  A node holding buffered input while not
+   stalled may be blocked by lockstep or back-pressure, whose release we
+   cannot cheaply bound, so it conservatively reports "active".  Waking
+   a stalled node exactly at [stall_until], and link messages exactly at
+   their arrival cycle, matches [tick]'s delivery rule (arrival <= cycle
+   is processed in the same tick). *)
+let next_event t ~now =
+  let w = ref max_int in
+  let add c = if (if c < now then now else c) < !w then w := max c now in
+  (try
+     Array.iter
+       (fun n ->
+         let stalled = now < n.stall_until in
+         if not (Queue.is_empty n.in_data && Queue.is_empty n.in_sig) then
+           if stalled then add n.stall_until
+           else begin
+             add now;
+             raise Exit
+           end
+         else begin
+           (match Queue.peek_opt n.inject_data with
+           | Some (ready, _, _) ->
+               add (if stalled then max ready n.stall_until else ready)
+           | None -> ());
+           (match Queue.peek_opt n.inject_sig with
+           | Some (ready, _, _) ->
+               add (if stalled then max ready n.stall_until else ready)
+           | None -> ())
+         end;
+         if !w <= now then raise Exit)
+       t.nodes;
+     let links q =
+       Array.iter
+         (fun link ->
+           match Queue.peek_opt link with
+           | Some (arrival, _) -> add arrival
+           | None -> ())
+         q
+     in
+     links t.links_data;
+     links t.links_sig
+   with Exit -> ());
+  if !w = max_int then None else Some !w
+
 (* Is any message still in flight (links, input buffers, injections)? *)
 let drained t =
   Array.for_all Queue.is_empty t.links_data

@@ -95,6 +95,12 @@ val tick : t -> cycle:int -> unit
 (** Advance the network one cycle: deliver arrived messages, forward with
     priority over injection (strictly on the data wires), inject. *)
 
+val next_event : t -> now:int -> int option
+(** Event-engine contract: [Some c] (c >= now) promises that ticking the
+    network strictly before cycle [c] is a no-op; [Some now] means the
+    network is (or may be) active this cycle; [None] means it is fully
+    drained and only a new injection can create work. *)
+
 val drained : t -> bool
 val data_drained : t -> bool
 

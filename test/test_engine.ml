@@ -1,0 +1,273 @@
+open Helix_machine
+open Helix_core
+open Helix_workloads
+
+(* Differential test: the event engine must be bit-identical to the
+   legacy per-cycle engine on every registry workload, in every
+   communication mode, with and without ring fault-injection jitter.
+   "Bit-identical" means: return value, total and per-core cycle
+   accounting, retirement counts, the final memory image, invocation
+   records and every exported metric except the engine's own
+   ["engine.*"] counters. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+module Engine = Helix_engine.Engine
+
+(* One compile per workload (the compiled program is immutable and
+   engine-independent). *)
+let compiled_cache : (string, Helix_hcc.Hcc.compiled) Hashtbl.t =
+  Hashtbl.create 16
+
+let compiled (wl : Workload.t) =
+  match Hashtbl.find_opt compiled_cache wl.Workload.name with
+  | Some c -> c
+  | None ->
+      let s = wl.Workload.build () in
+      let c =
+        Helix_hcc.Hcc.compile
+          (Helix_hcc.Hcc_config.v3 ~target_cores:16 ())
+          s.Workload.prog s.Workload.layout
+          ~train_mem:(s.Workload.init Workload.Train)
+      in
+      Hashtbl.replace compiled_cache wl.Workload.name c;
+      c
+
+let run_with ~engine ~(cfg : Executor.config) (wl : Workload.t) =
+  let s = wl.Workload.build () in
+  let c = compiled wl in
+  Executor.run ~compiled:c
+    { cfg with Executor.engine }
+    c.Helix_hcc.Hcc.cp_prog
+    (s.Workload.init Workload.Ref)
+
+let value_eq (a : Helix_obs.Metrics.value) (b : Helix_obs.Metrics.value) =
+  Stdlib.compare a b = 0
+
+let engine_metric name = String.length name >= 7 && String.sub name 0 7 = "engine."
+
+let check_metrics_equal (ml : Helix_obs.Metrics.t) (me : Helix_obs.Metrics.t)
+    =
+  let names m =
+    List.filter (fun n -> not (engine_metric n)) (Helix_obs.Metrics.names m)
+  in
+  check (Alcotest.list Alcotest.string) "metric names" (names ml) (names me);
+  List.iter
+    (fun n ->
+      let vl = Helix_obs.Metrics.find ml n in
+      let ve = Helix_obs.Metrics.find me n in
+      match (vl, ve) with
+      | Some a, Some b ->
+          if not (value_eq a b) then
+            Alcotest.failf "metric %s differs between engines" n
+      | _ -> Alcotest.failf "metric %s missing" n)
+    (names ml)
+
+let check_identical (l : Executor.result) (e : Executor.result) =
+  check Alcotest.int "r_cycles" l.Executor.r_cycles e.Executor.r_cycles;
+  check (Alcotest.option Alcotest.int) "r_ret" l.Executor.r_ret
+    e.Executor.r_ret;
+  check Alcotest.int "r_retired" l.Executor.r_retired e.Executor.r_retired;
+  check Alcotest.int "r_serial_cycles" l.Executor.r_serial_cycles
+    e.Executor.r_serial_cycles;
+  check Alcotest.int "r_parallel_cycles" l.Executor.r_parallel_cycles
+    e.Executor.r_parallel_cycles;
+  check Alcotest.int "invocations"
+    (List.length l.Executor.r_invocations)
+    (List.length e.Executor.r_invocations);
+  List.iter2
+    (fun (a : Executor.invocation_record) (b : Executor.invocation_record) ->
+      check Alcotest.int "inv_loop" a.Executor.inv_loop b.Executor.inv_loop;
+      check Alcotest.int "inv_trip" a.Executor.inv_trip b.Executor.inv_trip;
+      check Alcotest.int "inv_cycles" a.Executor.inv_cycles
+        b.Executor.inv_cycles)
+    l.Executor.r_invocations e.Executor.r_invocations;
+  Array.iteri
+    (fun i (sl : Stats.t) ->
+      let se = e.Executor.r_core_stats.(i) in
+      check Alcotest.int
+        (Printf.sprintf "core %d cycles" i)
+        sl.Stats.cycles se.Stats.cycles;
+      check Alcotest.int
+        (Printf.sprintf "core %d retired" i)
+        sl.Stats.retired se.Stats.retired;
+      List.iter
+        (fun b ->
+          check Alcotest.int
+            (Printf.sprintf "core %d bucket %s" i (Stats.bucket_name b))
+            (Stats.get sl b) (Stats.get se b))
+        Stats.all_buckets)
+    l.Executor.r_core_stats;
+  check Alcotest.bool "memory image" true
+    (Helix_ir.Memory.equal l.Executor.r_mem e.Executor.r_mem);
+  check_metrics_equal l.Executor.r_metrics e.Executor.r_metrics;
+  (* and the event engine did actually fast-forward somewhere *)
+  match Helix_obs.Metrics.find_int e.Executor.r_metrics "engine.kind" with
+  | Some k -> check Alcotest.int "event engine ran" 1 k
+  | None -> Alcotest.fail "engine.kind metric missing"
+
+let jitter_cfg seed =
+  let cfg =
+    Executor.default_config ~ring:true ~comm:Executor.fully_decoupled
+      Mach_config.default
+  in
+  {
+    cfg with
+    Executor.ring_cfg =
+      Option.map
+        (fun rc ->
+          {
+            rc with
+            Helix_ring.Ring.perturb = Some (Helix_ring.Ring.perturbed ~seed ());
+          })
+        cfg.Executor.ring_cfg;
+  }
+
+let configs =
+  [
+    ( "helix",
+      Executor.default_config ~ring:true ~comm:Executor.fully_decoupled
+        Mach_config.default );
+    ( "conventional",
+      Executor.default_config ~ring:false ~comm:Executor.fully_coupled
+        Mach_config.default );
+    ("jitter1", jitter_cfg 1);
+    ("jitter42", jitter_cfg 42);
+  ]
+
+let differential_tests =
+  List.concat_map
+    (fun (wl : Workload.t) ->
+      List.map
+        (fun (cfg_name, cfg) ->
+          tc
+            (Printf.sprintf "%s / %s" wl.Workload.name cfg_name)
+            (fun () ->
+              let l = run_with ~engine:Engine.Legacy ~cfg wl in
+              let e = run_with ~engine:Engine.Event ~cfg wl in
+              check_identical l e))
+        configs)
+    Registry.all
+
+(* Out-of-order cores exercise a different next-event computation. *)
+let ooo_tests =
+  List.concat_map
+    (fun core ->
+      List.map
+        (fun wl_name ->
+          let wl =
+            List.find (fun w -> w.Workload.name = wl_name) Registry.all
+          in
+          tc
+            (Printf.sprintf "%s / ooo width %d" wl_name
+               core.Mach_config.width)
+            (fun () ->
+              let mach = { Mach_config.default with Mach_config.core } in
+              let cfg =
+                Executor.default_config ~ring:true
+                  ~comm:Executor.fully_decoupled mach
+              in
+              let l = run_with ~engine:Engine.Legacy ~cfg wl in
+              let e = run_with ~engine:Engine.Event ~cfg wl in
+              check_identical l e))
+        [ "164.gzip"; "197.parser" ])
+    [ Mach_config.ooo2_core; Mach_config.ooo4_core ]
+
+(* ---- fuel and watchdog under fast-forward --------------------------- *)
+
+(* A fast-forward window must never jump over the fuel boundary or the
+   watchdog trigger: both engines must die at the same cycle with the
+   same full report (the report embeds the cycle, the phase counters and
+   the complete ring snapshot, so string equality is a strong check). *)
+
+let stuck_of ~engine ~(cfg : Executor.config) wl =
+  match run_with ~engine ~cfg wl with
+  | _ -> Alcotest.fail "expected a Stuck run"
+  | exception Executor.Stuck (reason, report) -> (reason, report)
+
+let gzip () = List.find (fun w -> w.Workload.name = "164.gzip") Registry.all
+
+let fuel_test =
+  tc "fuel exhaustion fires at the same cycle" (fun () ->
+      let cfg =
+        {
+          (Executor.default_config ~ring:true ~comm:Executor.fully_decoupled
+             Mach_config.default)
+          with
+          Executor.fuel = 10_000;
+        }
+      in
+      let rl, sl = stuck_of ~engine:Engine.Legacy ~cfg (gzip ()) in
+      let re, se = stuck_of ~engine:Engine.Event ~cfg (gzip ()) in
+      check Alcotest.string "reason"
+        (Executor.stuck_reason_name rl)
+        (Executor.stuck_reason_name re);
+      check Alcotest.string "reason is fuel"
+        (Executor.stuck_reason_name Executor.Fuel)
+        (Executor.stuck_reason_name rl);
+      check Alcotest.string "identical stuck report" sl se)
+
+let watchdog_test =
+  tc "watchdog wedges at the same cycle" (fun () ->
+      (* a watchdog shorter than a long ring round-trip stall trips
+         during a healthy run: both engines must observe the identical
+         wedge *)
+      let cfg =
+        {
+          (Executor.default_config ~ring:true ~comm:Executor.fully_decoupled
+             Mach_config.default)
+          with
+          Executor.watchdog_cycles = 40;
+        }
+      in
+      let rl, sl = stuck_of ~engine:Engine.Legacy ~cfg (gzip ()) in
+      let re, se = stuck_of ~engine:Engine.Event ~cfg (gzip ()) in
+      check Alcotest.string "reason"
+        (Executor.stuck_reason_name rl)
+        (Executor.stuck_reason_name re);
+      check Alcotest.string "reason is deadlock"
+        (Executor.stuck_reason_name Executor.Deadlock)
+        (Executor.stuck_reason_name rl);
+      check Alcotest.string "identical stuck report" sl se)
+
+(* ---- the domain pool -------------------------------------------------- *)
+
+let pool_tests =
+  [
+    tc "Pool.map preserves order" (fun () ->
+        Helix_experiments.Exp_common.Pool.set_jobs 2;
+        Fun.protect
+          ~finally:(fun () -> Helix_experiments.Exp_common.Pool.set_jobs 1)
+          (fun () ->
+            let xs = List.init 100 Fun.id in
+            let ys = Helix_experiments.Exp_common.Pool.map (fun x -> x * x) xs in
+            check (Alcotest.list Alcotest.int) "squares"
+              (List.map (fun x -> x * x) xs)
+              ys));
+    tc "Pool.map re-raises worker exceptions" (fun () ->
+        Helix_experiments.Exp_common.Pool.set_jobs 2;
+        Fun.protect
+          ~finally:(fun () -> Helix_experiments.Exp_common.Pool.set_jobs 1)
+          (fun () ->
+            match
+              Helix_experiments.Exp_common.Pool.map
+                (fun x -> if x = 13 then failwith "boom" else x)
+                (List.init 20 Fun.id)
+            with
+            | _ -> Alcotest.fail "expected Failure"
+            | exception Failure m -> check Alcotest.string "message" "boom" m));
+    tc "Pool.map with jobs=1 is plain map" (fun () ->
+        let xs = List.init 10 Fun.id in
+        check (Alcotest.list Alcotest.int) "identity" xs
+          (Helix_experiments.Exp_common.Pool.map Fun.id xs));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("differential", differential_tests);
+      ("ooo-differential", ooo_tests);
+      ("stuck-boundaries", [ fuel_test; watchdog_test ]);
+      ("pool", pool_tests);
+    ]

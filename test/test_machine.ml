@@ -168,6 +168,7 @@ let run_core kind width uops =
           match op with
           | Uop.S_load _ -> Uop.Sh_done { latency = 3; value = 42 }
           | _ -> Uop.Sh_done { latency = 1; value = 0 });
+      sup_settled = (fun () -> true);
     }
   in
   let cfg =
@@ -267,6 +268,7 @@ let core_tests =
                 incr calls;
                 if !calls < 50 then Uop.Sh_retry
                 else Uop.Sh_done { latency = 1; value = 0 });
+            sup_settled = (fun () -> true);
           }
         in
         let core = Core.create Mach_config.atom_core supply in
@@ -297,6 +299,7 @@ let core_tests =
             sup_mem = (fun ~cycle:_ ~write:_ ~addr:_ -> 3);
             sup_shared =
               (fun ~cycle:_ ~tag:_ _ -> Uop.Sh_done { latency = 1; value = 0 });
+            sup_settled = (fun () -> true);
           }
         in
         let run cfg l =

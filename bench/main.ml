@@ -60,6 +60,9 @@ let part1 () =
   Fmt.pr "HELIX-RC evaluation reproduction (%s workload set)@."
     (if quick then "CINT" else "full");
   Fmt.pr "==================================================================@.";
+  (* warm the compile/baseline memo tables across the pool so the
+     figures below start from cache hits instead of serial compiles *)
+  Exp_common.precompile workloads;
   emit "fig1" (Fig1.report (Fig1.run ~workloads ()));
   emit "fig2" (Fig2.report (Fig2.run ()));
   emit "fig3" (Fig3.report (Fig3.run ()));
@@ -84,12 +87,16 @@ let part1 () =
 
 (* ---- engine A/B: simulated cycles per second ------------------------- *)
 
-(* Wall-clock both engines over the CINT set in the two configurations
-   every figure pairs (HELIX ring-decoupled and conventional coupled)
-   and record simulated cycles per host second.  Results are
-   bit-identical by construction (test/test_engine.ml proves it), so
-   the ratio event/legacy is the event engine's figure of merit.  The
-   table lands in BENCH_engine.json so the perf trajectory has data. *)
+(* Wall-clock all three engines over the CINT set in the two
+   configurations every figure pairs (HELIX ring-decoupled and
+   conventional coupled) and record simulated cycles per host second.
+   Results are bit-identical by construction (test/test_engine.ml proves
+   it), so the event/legacy and heap/legacy ratios are the engines'
+   figures of merit.  The heap engine additionally reports per-workload
+   elision ratios -- event (rescan fast-forward only) is the "before",
+   heap (wake-heap windows + serial-phase interpret-ahead) the "after".
+   The table lands in BENCH_engine.json so the perf trajectory has
+   data. *)
 
 let engine_ab () =
   Fmt.pr "@.== engine A/B: simulated cycles/sec (CINT set) ==@.";
@@ -108,56 +115,93 @@ let engine_ab () =
         (wl, c, fun () -> s.Workload.init Workload.Ref))
       wls
   in
-  let cfg_pairs =
-    [
-      ( Exp_common.helix_cfg ~engine:Helix_engine.Engine.Legacy (),
-        Exp_common.helix_cfg ~engine:Helix_engine.Engine.Event () );
-      ( Exp_common.conventional_cfg ~engine:Helix_engine.Engine.Legacy (),
-        Exp_common.conventional_cfg ~engine:Helix_engine.Engine.Event () );
-    ]
+  let cfg_of ~helix engine =
+    if helix then Exp_common.helix_cfg ~engine ()
+    else Exp_common.conventional_cfg ~engine ()
   in
   let time_one cfg (c, fresh_mem) =
     let mem = fresh_mem () in
     let t0 = Unix.gettimeofday () in
     let r = Executor.run ~compiled:c cfg c.Hcc.cp_prog mem in
-    (r.Executor.r_cycles, Unix.gettimeofday () -. t0)
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let skip_ratio (r : Executor.result) =
+    match
+      Helix_obs.Metrics.find_float r.Executor.r_metrics "engine.skip_ratio"
+    with
+    | Some f -> f
+    | None -> 0.0
   in
   (* Alternate the engines per (workload, config) point and keep each
      side's best of three: host-load drift and GC phase otherwise swamp
      the signal.  Cycle totals are engine-independent (bit-identical
      results), so accumulating them from one side is enough. *)
   let total_cycles = ref 0 in
-  let l_dt = ref 0.0 and e_dt = ref 0.0 in
+  let l_dt = ref 0.0 and e_dt = ref 0.0 and h_dt = ref 0.0 in
+  let detail = ref [] in
   List.iter
-    (fun (_, c, fresh_mem) ->
+    (fun ((wl : Workload.t), c, fresh_mem) ->
       let p = (c, fresh_mem) in
       List.iter
-        (fun (legacy_cfg, event_cfg) ->
+        (fun helix ->
+          let legacy_cfg = cfg_of ~helix Helix_engine.Engine.Legacy in
+          let event_cfg = cfg_of ~helix Helix_engine.Engine.Event in
+          let heap_cfg = cfg_of ~helix Helix_engine.Engine.Heap in
           ignore (time_one legacy_cfg p) (* warmup *);
-          let l_best = ref infinity and e_best = ref infinity in
+          let l_best = ref infinity
+          and e_best = ref infinity
+          and h_best = ref infinity in
           let cycles = ref 0 in
+          let e_ratio = ref 0.0 and h_ratio = ref 0.0 in
           for _ = 1 to 3 do
-            let lc, ld = time_one legacy_cfg p in
-            let _, ed = time_one event_cfg p in
-            cycles := lc;
+            let lr, ld = time_one legacy_cfg p in
+            let er, ed = time_one event_cfg p in
+            let hr, hd = time_one heap_cfg p in
+            cycles := lr.Executor.r_cycles;
+            e_ratio := skip_ratio er;
+            h_ratio := skip_ratio hr;
             if ld < !l_best then l_best := ld;
-            if ed < !e_best then e_best := ed
+            if ed < !e_best then e_best := ed;
+            if hd < !h_best then h_best := hd
           done;
           total_cycles := !total_cycles + !cycles;
           l_dt := !l_dt +. !l_best;
-          e_dt := !e_dt +. !e_best)
-        cfg_pairs)
+          e_dt := !e_dt +. !e_best;
+          h_dt := !h_dt +. !h_best;
+          detail :=
+            ( wl.Workload.name,
+              (if helix then "helix" else "conventional"),
+              !e_ratio,
+              !h_ratio )
+            :: !detail)
+        [ true; false ])
     prepared;
-  let l_cycles = !total_cycles and e_cycles = !total_cycles in
-  let l_dt = !l_dt and e_dt = !e_dt in
-  let rate cycles dt = float_of_int cycles /. Float.max dt 1e-9 in
-  let l_rate = rate l_cycles l_dt and e_rate = rate e_cycles e_dt in
-  let speedup = e_rate /. Float.max l_rate 1e-9 in
-  Fmt.pr "  legacy: %d cycles in %.3fs = %.0f cycles/sec@." l_cycles l_dt
+  let detail = List.rev !detail in
+  let l_dt = !l_dt and e_dt = !e_dt and h_dt = !h_dt in
+  let rate dt = float_of_int !total_cycles /. Float.max dt 1e-9 in
+  let l_rate = rate l_dt and e_rate = rate e_dt and h_rate = rate h_dt in
+  let e_speedup = e_rate /. Float.max l_rate 1e-9 in
+  let h_speedup = h_rate /. Float.max l_rate 1e-9 in
+  Fmt.pr "  legacy: %d cycles in %.3fs = %.0f cycles/sec@." !total_cycles l_dt
     l_rate;
-  Fmt.pr "  event:  %d cycles in %.3fs = %.0f cycles/sec@." e_cycles e_dt
+  Fmt.pr "  event:  %d cycles in %.3fs = %.0f cycles/sec@." !total_cycles e_dt
     e_rate;
-  Fmt.pr "  event/legacy: %.2fx@." speedup;
+  Fmt.pr "  heap:   %d cycles in %.3fs = %.0f cycles/sec@." !total_cycles h_dt
+    h_rate;
+  Fmt.pr "  event/legacy: %.2fx   heap/legacy: %.2fx@." e_speedup h_speedup;
+  Fmt.pr "  elided-cycle ratio (event -> heap):@.";
+  List.iter
+    (fun (name, cfg, er, hr) ->
+      Fmt.pr "    %-14s %-12s %.3f -> %.3f@." name cfg er hr)
+    detail;
+  let side cycles dt r =
+    Helix_obs.Json.Obj
+      [
+        ("cycles", Helix_obs.Json.Int cycles);
+        ("seconds", Helix_obs.Json.Float dt);
+        ("cycles_per_sec", Helix_obs.Json.Float r);
+      ]
+  in
   let json =
     Helix_obs.Json.Obj
       [
@@ -167,21 +211,23 @@ let engine_ab () =
             (List.map
                (fun (wl, _, _) -> Helix_obs.Json.String wl.Workload.name)
                prepared) );
-        ( "legacy",
-          Helix_obs.Json.Obj
-            [
-              ("cycles", Helix_obs.Json.Int l_cycles);
-              ("seconds", Helix_obs.Json.Float l_dt);
-              ("cycles_per_sec", Helix_obs.Json.Float l_rate);
-            ] );
-        ( "event",
-          Helix_obs.Json.Obj
-            [
-              ("cycles", Helix_obs.Json.Int e_cycles);
-              ("seconds", Helix_obs.Json.Float e_dt);
-              ("cycles_per_sec", Helix_obs.Json.Float e_rate);
-            ] );
-        ("event_over_legacy", Helix_obs.Json.Float speedup);
+        ("legacy", side !total_cycles l_dt l_rate);
+        ("event", side !total_cycles e_dt e_rate);
+        ("heap", side !total_cycles h_dt h_rate);
+        ("event_over_legacy", Helix_obs.Json.Float e_speedup);
+        ("heap_over_legacy", Helix_obs.Json.Float h_speedup);
+        ( "skip_ratio",
+          Helix_obs.Json.List
+            (List.map
+               (fun (name, cfg, er, hr) ->
+                 Helix_obs.Json.Obj
+                   [
+                     ("workload", Helix_obs.Json.String name);
+                     ("config", Helix_obs.Json.String cfg);
+                     ("event", Helix_obs.Json.Float er);
+                     ("heap", Helix_obs.Json.Float hr);
+                   ])
+               detail) );
       ]
   in
   let oc = open_out "BENCH_engine.json" in
@@ -212,6 +258,24 @@ let mcf_prepared =
 
 let run_mcf engine =
   let c, fresh_mem = Lazy.force mcf_prepared in
+  let cfg = Exp_common.helix_cfg ~engine () in
+  ignore (Executor.run ~compiled:c cfg c.Hcc.cp_prog (fresh_mem ()))
+
+(* Serial-heavy workload: the interpret-ahead batching benchmark. *)
+let vpr_prepared =
+  lazy
+    (let wl = Registry.find "175.vpr" in
+     let s = wl.Workload.build () in
+     let c =
+       Hcc.compile
+         (Hcc_config.v3 ())
+         s.Workload.prog s.Workload.layout
+         ~train_mem:(s.Workload.init Workload.Train)
+     in
+     (c, fun () -> s.Workload.init Workload.Ref))
+
+let run_vpr engine =
+  let c, fresh_mem = Lazy.force vpr_prepared in
   let cfg = Exp_common.helix_cfg ~engine () in
   ignore (Executor.run ~compiled:c cfg c.Hcc.cp_prog (fresh_mem ()))
 
@@ -332,6 +396,46 @@ let bench_tests =
       (Staged.stage (fun () -> run_mcf Helix_engine.Engine.Legacy));
     Test.make ~name:"engine: event fast-forward, mcf (stall-heavy)"
       (Staged.stage (fun () -> run_mcf Helix_engine.Engine.Event));
+    Test.make ~name:"engine: heap wake-up windows, mcf (stall-heavy)"
+      (Staged.stage (fun () -> run_mcf Helix_engine.Engine.Heap));
+    Test.make ~name:"engine: event fast-forward, vpr (serial-heavy)"
+      (Staged.stage (fun () -> run_vpr Helix_engine.Engine.Event));
+    Test.make ~name:"engine: heap + interpret-ahead, vpr (serial-heavy)"
+      (Staged.stage (fun () -> run_vpr Helix_engine.Engine.Heap));
+    Test.make ~name:"engine: wake-heap 64k push/pop, 32 ids"
+      (Staged.stage (fun () ->
+           (* the heap engine's inner data structure: interleaved
+              promise pushes and minimum pops, keys drifting forward as
+              simulated time advances *)
+           let h = Helix_engine.Wake_heap.create () in
+           let seed = ref 123456789 in
+           let rnd bound =
+             seed := (!seed * 1103515245) + 12345;
+             (!seed lsr 16) mod bound
+           in
+           for i = 0 to 65_535 do
+             Helix_engine.Wake_heap.push h ~cycle:(i + rnd 64)
+               ~id:(i land 31);
+             if i land 1 = 0 then Helix_engine.Wake_heap.drop h
+           done;
+           while Helix_engine.Wake_heap.peek h <> None do
+             Helix_engine.Wake_heap.drop h
+           done));
+    Test.make ~name:"engine: 64k full rescans, 32 components"
+      (Staged.stage (fun () ->
+           (* what the event engine does instead of a heap: poll every
+              component's promise each round and take the minimum *)
+           let promises = Array.init 32 (fun i -> (i * 37) land 1023) in
+           let best = ref 0 in
+           for now = 0 to 65_535 do
+             let w = ref max_int in
+             for i = 0 to 31 do
+               let e = now + promises.(i) in
+               if e < !w then w := e
+             done;
+             best := !w
+           done;
+           ignore !best));
     Test.make ~name:"pool: 4 interp runs, 1 job"
       (Staged.stage (fun () ->
            Exp_common.Pool.set_jobs 1;

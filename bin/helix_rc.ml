@@ -131,6 +131,7 @@ let all_cmd =
       const (fun quick jobs ->
           set_jobs jobs;
           let workloads = pick_workloads quick in
+          Exp_common.precompile workloads;
           Report.print (Fig1.report (Fig1.run ~workloads ()));
           Report.print (Fig2.report (Fig2.run ()));
           Report.print (Fig3.report (Fig3.run ()));
@@ -258,16 +259,19 @@ let jitter_arg =
 let engine_arg =
   let doc =
     "Simulation engine: $(b,legacy) ticks every cycle, $(b,event) \
-     fast-forwards across provably idle cycle windows.  Results are \
+     fast-forwards across provably idle cycle windows by a full \
+     component rescan, $(b,heap) tracks wake-up promises in a min-heap \
+     and batch-executes quiescent serial phases \
+     (HELIX_INTERPRET_AHEAD=0 disables the batching).  Results are \
      bit-identical; only wall-clock differs.  Defaults to the \
-     HELIX_ENGINE environment variable, or $(b,event)."
+     HELIX_ENGINE environment variable, or $(b,heap)."
   in
   let econv =
     Arg.conv
       ( (fun s ->
           match Helix_engine.Engine.kind_of_string s with
           | Some k -> Ok k
-          | None -> Error (`Msg ("unknown engine " ^ s ^ " (legacy|event)"))),
+          | None -> Error (`Msg ("unknown engine " ^ s ^ " (legacy|event|heap)"))),
         fun ppf k -> Fmt.string ppf (Helix_engine.Engine.kind_to_string k) )
   in
   Arg.(value & opt (some econv) None & info [ "engine" ] ~docv:"ENGINE" ~doc)

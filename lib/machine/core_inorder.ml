@@ -24,6 +24,8 @@ type t = {
   mutable ne_retry : bool;         (* that attempt ended in Sh_retry *)
   mutable ne_idle_ticks : int;     (* consecutive ticks ending in a
                                       fruitless supply pull *)
+  mutable ne_changed : bool;       (* last tick (or quiescence probe)
+                                      changed state: issued or fetched *)
 }
 
 let trace_core =
@@ -58,6 +60,7 @@ let create ?retired_sink cfg supply =
     ne_attempt = min_int;
     ne_retry = false;
     ne_idle_ticks = 0;
+    ne_changed = false;
   }
 
 let ready t r = try Hashtbl.find t.reg_ready r with Not_found -> 0
@@ -164,6 +167,7 @@ let tick t cycle =
           t.mem_busy_until
     | None -> ());
   let issued = ref 0 in
+  let fetched = ref false in
   let only_sync = ref true in
   let stall = ref None in
   let continue_ = ref true in
@@ -174,6 +178,7 @@ let tick t cycle =
       | None ->
           let u = t.supply.Core_model.sup_next () in
           t.pending <- u;
+          if u <> None then fetched := true;
           u
     in
     match next with
@@ -207,6 +212,10 @@ let tick t cycle =
      if t.supply.Core_model.sup_settled () then t.ne_idle_ticks <- 2
      else t.ne_idle_ticks <- (if !issued > 0 then 1 else t.ne_idle_ticks + 1)
    else t.ne_idle_ticks <- 0);
+  (* Heap-engine re-poll hint: issuing or fetching is the only way a
+     tick can move this core's earliest event earlier (stall deadlines
+     are only ever written by successful issues). *)
+  t.ne_changed <- !issued > 0 || !fetched;
   Stats.charge t.stats bucket
 
 (* ---- event-engine interface ------------------------------------------ *)
@@ -280,7 +289,10 @@ let quiescent t =
       | None -> true
       | Some u ->
           t.pending <- Some u;
+          t.ne_changed <- true;
           false)
+
+let changed t = t.ne_changed
 
 let stats t = t.stats
 

@@ -140,6 +140,15 @@ type t = {
   mutable ring_misses : int;
   mutable blocked_injections : int;
   mutable messages_retired : int;
+  (* hierarchical quiescence: messages alive per class, counted from
+     injection acceptance to retirement, wherever they currently sit
+     (injection queue, input buffer or link).  Keeping the roll-up
+     incremental makes [drained]/[data_drained] O(1) instead of a scan
+     over every queue, which the executor performs every parallel
+     cycle. *)
+  mutable inflight_data : int;
+  mutable inflight_sig : int;
+  mutable tick_did_work : bool;
   resident : (int, unit) Hashtbl.t;
       (* superset of addresses cached in some node array, so serial-phase
          stores can invalidate stale copies cheaply *)
@@ -179,6 +188,9 @@ let create ?trace (cfg : config) (env : env) : t =
     ring_misses = 0;
     blocked_injections = 0;
     messages_retired = 0;
+    inflight_data = 0;
+    inflight_sig = 0;
+    tick_did_work = false;
     resident = Hashtbl.create 1024;
   }
 
@@ -233,6 +245,7 @@ let try_store t ~node ~addr ~value ~cycle =
     Queue.add
       (cycle + t.cfg.injection_latency + j, Msg.Data { addr; value }, seq)
       n.inject_data;
+    t.inflight_data <- t.inflight_data + 1;
     Helix_obs.Trace.store_inject t.trace ~cycle ~node ~addr ~value ~seq;
     true
   end
@@ -256,6 +269,7 @@ let try_signal t ~node ~seg ~cycle =
         Msg.Sig { seg; barrier = n.last_accepted_data },
         seq )
       n.inject_sig;
+    t.inflight_sig <- t.inflight_sig + 1;
     Helix_obs.Trace.signal_inject t.trace ~cycle ~node ~seg ~seq
       ~barrier:n.last_accepted_data;
     true
@@ -334,12 +348,15 @@ let invalidate_addr t addr =
   end
 
 (* Are the data channels empty?  The flush keeps node arrays valid across
-   invocations, so all data must land before the loop retires. *)
-let data_drained t =
-  Array.for_all Queue.is_empty t.links_data
-  && Array.for_all
-       (fun n -> Queue.is_empty n.in_data && Queue.is_empty n.inject_data)
-       t.nodes
+   invocations, so all data must land before the loop retires.  The
+   inflight counter covers every place a data message can live (links,
+   input buffers, injection queues), so this is O(1). *)
+let data_drained t = t.inflight_data = 0
+
+let retire t ~cls =
+  t.messages_retired <- t.messages_retired + 1;
+  if cls = "data" then t.inflight_data <- t.inflight_data - 1
+  else t.inflight_sig <- t.inflight_sig - 1
 
 (* -- ring clock ------------------------------------------------------ *)
 
@@ -381,6 +398,7 @@ let lockstep_ok (n : node) (msg : Msg.t) =
   | Msg.Data _ -> true
 
 let tick t ~cycle =
+  t.tick_did_work <- false;
   (* 1. deliver arrived link messages into input buffers *)
   let deliver links in_of =
     Array.iteri
@@ -391,7 +409,8 @@ let tick t ~cycle =
           let arrival, _ = Queue.peek link in
           if arrival <= cycle then begin
             let _, msg = Queue.pop link in
-            Queue.add msg (in_of dst)
+            Queue.add msg (in_of dst);
+            t.tick_did_work <- true
           end
           else continue_ := false
         done)
@@ -426,12 +445,13 @@ let tick t ~cycle =
         let msg = Queue.pop in_q in
         let keep = apply_at t n msg in
         decr budget;
+        t.tick_did_work <- true;
         if keep then begin
           send t msg n.id ~cycle;
           n.forwarded <- n.forwarded + 1;
           forwarded_any := true
         end
-        else t.messages_retired <- t.messages_retired + 1
+        else retire t ~cls
       end
     done;
     (* injection: data follows the paper's strict priority rule (inject
@@ -448,6 +468,7 @@ let tick t ~cycle =
         else begin
           ignore (Queue.pop inject_q);
           decr budget;
+          t.tick_did_work <- true;
           if t.cfg.n_nodes > 1 then send t msg n.id ~cycle
           else begin
             (* degenerate single-node ring: the message retires at its
@@ -459,7 +480,7 @@ let tick t ~cycle =
             | Msg.Sig { seg; _ } ->
                 Signal_buffer.record n.sigbuf ~seg ~origin:n.id
             | Msg.Data _ -> ());
-            t.messages_retired <- t.messages_retired + 1
+            retire t ~cls
           end;
           n.injected <- n.injected + 1
         end
@@ -481,60 +502,76 @@ let tick t ~cycle =
 (* Event-engine contract: earliest future cycle at which the network can
    make progress on its own; [Some now] = active, do not fast-forward;
    [None] = fully drained (purely reactive: only a new injection from a
-   core can create work).  A node holding buffered input while not
-   stalled may be blocked by lockstep or back-pressure, whose release we
-   cannot cheaply bound, so it conservatively reports "active".  Waking
-   a stalled node exactly at [stall_until], and link messages exactly at
-   their arrival cycle, matches [tick]'s delivery rule (arrival <= cycle
-   is processed in the same tick). *)
+   core can create work).  The inflight roll-up makes the drained case
+   O(1); otherwise each node publishes a local "nothing before c" bound
+   and the scan takes the minimum.  Buffered data (or a processable
+   signal head) at an unstalled node is "active"; a lockstep-held signal
+   head is *not* -- it can only unblock when the barrier data message is
+   applied at this node, and that message is still in flight somewhere
+   the scan already bounds (another node's buffers, an injection queue,
+   or a link whose FIFO head arrival lower-bounds every delivery from
+   it).  Waking a stalled node exactly at [stall_until], and link
+   messages exactly at their arrival cycle, matches [tick]'s rules. *)
 let next_event t ~now =
-  let w = ref max_int in
-  let add c = if (if c < now then now else c) < !w then w := max c now in
-  (try
-     Array.iter
-       (fun n ->
-         let stalled = now < n.stall_until in
-         if not (Queue.is_empty n.in_data && Queue.is_empty n.in_sig) then
-           if stalled then add n.stall_until
-           else begin
-             add now;
-             raise Exit
-           end
-         else begin
-           (match Queue.peek_opt n.inject_data with
-           | Some (ready, _, _) ->
-               add (if stalled then max ready n.stall_until else ready)
-           | None -> ());
-           (match Queue.peek_opt n.inject_sig with
-           | Some (ready, _, _) ->
-               add (if stalled then max ready n.stall_until else ready)
-           | None -> ())
-         end;
-         if !w <= now then raise Exit)
-       t.nodes;
-     let links q =
+  if t.inflight_data = 0 && t.inflight_sig = 0 then None
+  else begin
+    let w = ref max_int in
+    let add c = if (if c < now then now else c) < !w then w := max c now in
+    (try
        Array.iter
-         (fun link ->
-           match Queue.peek_opt link with
-           | Some (arrival, _) -> add arrival
-           | None -> ())
-         q
-     in
-     links t.links_data;
-     links t.links_sig
-   with Exit -> ());
-  if !w = max_int then None else Some !w
+         (fun n ->
+           let stalled = now < n.stall_until in
+           if stalled then begin
+             if
+               not (Queue.is_empty n.in_data && Queue.is_empty n.in_sig)
+             then add n.stall_until;
+             (match Queue.peek_opt n.inject_data with
+             | Some (ready, _, _) -> add (max ready n.stall_until)
+             | None -> ());
+             match Queue.peek_opt n.inject_sig with
+             | Some (ready, _, _) -> add (max ready n.stall_until)
+             | None -> ()
+           end
+           else begin
+             let sig_head_ready =
+               match Queue.peek_opt n.in_sig with
+               | None -> false
+               | Some msg -> lockstep_ok n msg
+             in
+             if (not (Queue.is_empty n.in_data)) || sig_head_ready then begin
+               add now;
+               raise Exit
+             end;
+             (match Queue.peek_opt n.inject_data with
+             | Some (ready, _, _) -> add ready
+             | None -> ());
+             match Queue.peek_opt n.inject_sig with
+             | Some (ready, _, _) -> add ready
+             | None -> ()
+           end;
+           if !w <= now then raise Exit)
+         t.nodes;
+       let links q =
+         Array.iter
+           (fun link ->
+             match Queue.peek_opt link with
+             | Some (arrival, _) -> add arrival
+             | None -> ())
+           q
+       in
+       links t.links_data;
+       links t.links_sig
+     with Exit -> ());
+    if !w = max_int then None else Some !w
+  end
 
-(* Is any message still in flight (links, input buffers, injections)? *)
-let drained t =
-  Array.for_all Queue.is_empty t.links_data
-  && Array.for_all Queue.is_empty t.links_sig
-  && Array.for_all
-       (fun n ->
-         Queue.is_empty n.in_data && Queue.is_empty n.in_sig
-         && Queue.is_empty n.inject_data
-         && Queue.is_empty n.inject_sig)
-       t.nodes
+(* Is any message still in flight (links, input buffers, injections)?
+   O(1) via the inflight roll-up. *)
+let drained t = t.inflight_data = 0 && t.inflight_sig = 0
+
+(* Did the last [tick] move or retire any message?  The heap engine uses
+   this to decide whether the ring must be re-polled. *)
+let tick_changed t = t.tick_did_work
 
 (* -- end-of-loop flush ----------------------------------------------- *)
 
@@ -574,6 +611,8 @@ let flush t ~cycle =
     t.nodes;
   Array.iter Queue.clear t.links_data;
   Array.iter Queue.clear t.links_sig;
+  t.inflight_data <- 0;
+  t.inflight_sig <- 0;
   ignore cycle;
   (* each owner writes its share back in parallel; charge the max *)
   let max_share = Array.fold_left max 0 per_node in
@@ -604,7 +643,9 @@ let abort t =
         (t.next_seq - 1))
     t.nodes;
   Array.iter Queue.clear t.links_data;
-  Array.iter Queue.clear t.links_sig
+  Array.iter Queue.clear t.links_sig;
+  t.inflight_data <- 0;
+  t.inflight_sig <- 0
 
 (* Diagnostic dump for deadlock reports: every node unconditionally (a
    16-core wedge is usually caused by one of the nodes an abbreviated

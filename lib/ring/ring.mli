@@ -99,10 +99,24 @@ val next_event : t -> now:int -> int option
 (** Event-engine contract: [Some c] (c >= now) promises that ticking the
     network strictly before cycle [c] is a no-op; [Some now] means the
     network is (or may be) active this cycle; [None] means it is fully
-    drained and only a new injection can create work. *)
+    drained and only a new injection can create work.  The bound is
+    hierarchical: each node publishes a local "empty until c" (stall
+    release, injection readiness, lockstep-held heads deferred to the
+    data events that release them) and the ring-wide promise is the
+    roll-up minimum, together with link-head arrival cycles. *)
+
+val tick_changed : t -> bool
+(** Did the last {!tick} move or retire any message?  Used by the heap
+    engine's re-poll protocol; a [false] guarantees the promise returned
+    by the previous {!next_event} still stands (absent new
+    injections). *)
 
 val drained : t -> bool
+(** No message in flight anywhere.  O(1): maintained incrementally from
+    injection acceptance to retirement. *)
+
 val data_drained : t -> bool
+(** The data class is empty (links, buffers, injection queues).  O(1). *)
 
 val invalidate_addr : t -> int -> unit
 (** Serial-phase stores to ring-resident addresses must drop every stale

@@ -322,6 +322,104 @@ let deadlock_tests =
 
 let props = [ QCheck_alcotest.to_alcotest prop_json_roundtrip ]
 
+(* ---- bench trend gate (lib/experiments/trend.ml) --------------------- *)
+
+module Trend = Helix_experiments.Trend
+
+let trend_fails fs = List.length (Trend.failures fs)
+
+let engine_json ?(heap = true) ~legacy_rate ~event_rate ~heap_rate () =
+  let side r =
+    Printf.sprintf
+      "{\"cycles\": 1000, \"seconds\": 1.0, \"cycles_per_sec\": %f}" r
+  in
+  Printf.sprintf "{\"bench\": \"engine-ab\", \"legacy\": %s, \"event\": %s%s}"
+    (side legacy_rate) (side event_rate)
+    (if heap then Printf.sprintf ", \"heap\": %s" (side heap_rate) else "")
+
+let trend_tests =
+  [
+    Alcotest.test_case "equal rates pass" `Quick (fun () ->
+        let j = engine_json ~legacy_rate:1e6 ~event_rate:2e6 ~heap_rate:3e6 () in
+        Alcotest.(check int) "no failures" 0
+          (trend_fails (Trend.compare_engine ~old_json:j ~new_json:j ())));
+    Alcotest.test_case "small drift passes, big regression fails" `Quick
+      (fun () ->
+        let old_j =
+          engine_json ~legacy_rate:1e6 ~event_rate:2e6 ~heap_rate:3e6 ()
+        in
+        let drift =
+          engine_json ~legacy_rate:0.95e6 ~event_rate:1.9e6 ~heap_rate:2.9e6 ()
+        in
+        let regressed =
+          engine_json ~legacy_rate:1e6 ~event_rate:2e6 ~heap_rate:2.0e6 ()
+        in
+        Alcotest.(check int) "5% drift ok" 0
+          (trend_fails
+             (Trend.compare_engine ~old_json:old_j ~new_json:drift ()));
+        Alcotest.(check int) "33% drop fails" 1
+          (trend_fails
+             (Trend.compare_engine ~old_json:old_j ~new_json:regressed ()));
+        (* a tighter threshold turns the drift into a failure too *)
+        Alcotest.(check bool) "2% threshold catches drift" true
+          (trend_fails
+             (Trend.compare_engine ~threshold:0.02 ~old_json:old_j
+                ~new_json:drift ())
+          > 0));
+    Alcotest.test_case "new engine without baseline is not a failure" `Quick
+      (fun () ->
+        let old_j =
+          engine_json ~heap:false ~legacy_rate:1e6 ~event_rate:2e6
+            ~heap_rate:0.0 ()
+        in
+        let new_j =
+          engine_json ~legacy_rate:1e6 ~event_rate:2e6 ~heap_rate:3e6 ()
+        in
+        Alcotest.(check int) "no failures" 0
+          (trend_fails (Trend.compare_engine ~old_json:old_j ~new_json:new_j ())));
+    Alcotest.test_case "an engine disappearing is a failure" `Quick (fun () ->
+        let old_j =
+          engine_json ~legacy_rate:1e6 ~event_rate:2e6 ~heap_rate:3e6 ()
+        in
+        let new_j =
+          engine_json ~heap:false ~legacy_rate:1e6 ~event_rate:2e6
+            ~heap_rate:0.0 ()
+        in
+        Alcotest.(check int) "one failure" 1
+          (trend_fails (Trend.compare_engine ~old_json:old_j ~new_json:new_j ())));
+    Alcotest.test_case "figure value changes pass, shape changes fail" `Quick
+      (fun () ->
+        let old_fig = "{\"rows\": [{\"wl\": \"gzip\", \"speedup\": 2.0}]}" in
+        let moved = "{\"rows\": [{\"wl\": \"gzip\", \"speedup\": 3.1}]}" in
+        let reshaped =
+          "{\"rows\": [{\"wl\": \"gzip\", \"speedup\": 2.0}, {\"wl\": \
+           \"mcf\", \"speedup\": 1.0}]}"
+        in
+        Alcotest.(check int) "values may move" 0
+          (trend_fails
+             (Trend.compare_figure ~name:"fig1" ~old_json:old_fig
+                ~new_json:moved ()));
+        Alcotest.(check int) "row added fails" 1
+          (trend_fails
+             (Trend.compare_figure ~name:"fig1" ~old_json:old_fig
+                ~new_json:reshaped ())));
+    Alcotest.test_case "compare_all: missing sides" `Quick (fun () ->
+        let j = engine_json ~legacy_rate:1e6 ~event_rate:2e6 ~heap_rate:3e6 () in
+        (* no baseline at all: notes only *)
+        Alcotest.(check int) "first run passes" 0
+          (trend_fails
+             (Trend.compare_all ~engine_old:None ~engine_new:(Some j)
+                ~figures:[ ("fig1.json", (None, Some "{}")) ]
+                ()));
+        (* current run lost its artifacts: failures *)
+        Alcotest.(check bool) "lost artifacts fail" true
+          (trend_fails
+             (Trend.compare_all ~engine_old:(Some j) ~engine_new:None
+                ~figures:[ ("fig1.json", (Some "{}", None)) ]
+                ())
+          >= 2));
+  ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -330,5 +428,6 @@ let () =
       ("metrics", metrics_tests);
       ("legacy-agreement", legacy_agreement_tests);
       ("deadlock-report", deadlock_tests);
+      ("bench-trend", trend_tests);
       ("properties", props);
     ]

@@ -344,6 +344,37 @@ let bench_tests =
                     ~value:c ~cycle:c);
              Helix_ring.Ring.tick r ~cycle:c
            done));
+    Test.make ~name:"ring: 10k faulty ticks with traffic"
+      (Staged.stage (fun () ->
+           (* same traffic again under a lossy fault plan: hot-path cost
+              of per-send fault rolls, hop/checksum validation and the
+              retransmission timer upkeep *)
+           let backing = Hashtbl.create 16 in
+           let r =
+             Helix_ring.Ring.create
+               {
+                 (Helix_ring.Ring.default_config ~n_nodes:16) with
+                 Helix_ring.Ring.faults =
+                   Some
+                     (Helix_ring.Ring.faulty ~drop:20 ~dup:10 ~reorder:10
+                        ~corrupt:10 ~seed:42 ());
+               }
+               {
+                 Helix_ring.Ring.backing_load =
+                   (fun a -> try Hashtbl.find backing a with Not_found -> 0);
+                 backing_store = (fun a v -> Hashtbl.replace backing a v);
+                 owner_l1_latency =
+                   (fun ~core:_ ~cycle:_ ~write:_ ~addr:_ -> 3);
+               }
+           in
+           for c = 0 to 9_999 do
+             if c land 7 = 0 then
+               ignore
+                 (Helix_ring.Ring.try_store r ~node:(c land 15)
+                    ~addr:(64 + (c land 63))
+                    ~value:c ~cycle:c);
+             Helix_ring.Ring.tick r ~cycle:c
+           done));
     Test.make ~name:"depcheck: 100k recorded accesses"
       (Staged.stage (fun () ->
            let d = Depcheck.create () in

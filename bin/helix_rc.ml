@@ -250,11 +250,37 @@ let strict_arg =
 
 let jitter_arg =
   let doc =
-    "Fault injection: perturb ring link/injection/signal latencies with \
-     bounded jitter deterministically derived from $(docv).  Architectural \
-     results must be invariant under any seed."
+    "Delay-only fault injection (the mildest class of the fault family): \
+     perturb ring link/injection/signal latencies with bounded extra \
+     delays deterministically derived from $(docv).  Jitter never loses, \
+     repeats or reorders a message, so architectural results must be \
+     invariant under any seed with no recovery machinery engaged.  For \
+     the five lossy classes (drop, duplicate, reorder, corrupt, \
+     fail-stop) see $(b,--faults)."
   in
   Arg.(value & opt (some int) None & info [ "jitter" ] ~docv:"SEED" ~doc)
+
+let faults_arg =
+  let doc =
+    "Lossy-ring fault schedule, e.g. \
+     $(b,seed=42,drop=5,dup=3,reorder=2,corrupt=1,kill=3\\@50000): \
+     comma-separated key=value pairs; drop/dup/reorder/corrupt are \
+     per-mille per-link-send rates, kill=NODE\\@CYCLE fail-stops a core.  \
+     The recovery protocol (sequence numbers, checksums, go-back-N \
+     retransmission) must deliver the correct result for any message-loss \
+     schedule; fail-stop recovers by reknitting the ring or falling back \
+     (pair with $(b,--check)), and exits 13 when unrecoverable."
+  in
+  let fconv =
+    Arg.conv
+      ( (fun s ->
+          match Helix_ring.Ring.fault_plan_of_string s with
+          | Ok p -> Ok p
+          | Error m -> Error (`Msg m)),
+        fun ppf p ->
+          Fmt.string ppf (Helix_ring.Ring.fault_plan_to_string p) )
+  in
+  Arg.(value & opt (some fconv) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
 let engine_arg =
   let doc =
@@ -276,22 +302,24 @@ let engine_arg =
   in
   Arg.(value & opt (some econv) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
-(* HELIX-RC run honouring --trace/--check/--strict/--jitter/--engine: any
-   of them bypasses the memo cache (the cached result has no events
-   attached and was produced under the unperturbed, unchecked, default
-   configuration). *)
-let run_helix_obs wl ~trace ~check ~strict ~jitter ~engine =
+(* HELIX-RC run honouring --trace/--check/--strict/--jitter/--faults/
+   --engine: any of them bypasses the memo cache (the cached result has
+   no events attached and was produced under the unperturbed, unchecked,
+   default configuration). *)
+let run_helix_obs wl ~trace ~check ~strict ~jitter ?faults ~engine () =
   let robust =
     if strict then
       Some { Executor.checked with Executor.strict = true; fallback = false }
     else if check then Some Executor.checked
     else None
   in
-  if trace = None && robust = None && jitter = None && engine = None then
-    Exp_common.run_helix wl Exp_common.V3
+  if trace = None && robust = None && jitter = None && faults = None
+     && engine = None
+  then Exp_common.run_helix wl Exp_common.V3
   else
     Exp_common.parallel ~cache:false ~tag:"helix-robust" wl Exp_common.V3
-      (Exp_common.helix_cfg ?trace ?robust ?jitter_seed:jitter ?engine ())
+      (Exp_common.helix_cfg ?trace ?robust ?jitter_seed:jitter ?faults ?engine
+         ())
 
 let dump_obs (par : Executor.result) ~trace_sink ~metrics_sink trace =
   (match (trace_sink, trace) with
@@ -319,7 +347,7 @@ let run_cmd =
   let wl = Arg.(required & pos 0 (some wl_conv) None & info [] ~docv:"WORKLOAD") in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun wl trace_file metrics_file check strict jitter engine ->
+      const (fun wl trace_file metrics_file check strict jitter faults engine ->
           match (open_sink trace_file, open_sink metrics_file) with
           | Error m, _ | _, Error m -> `Error (false, m)
           | Ok trace_sink, Ok metrics_sink ->
@@ -331,7 +359,9 @@ let run_cmd =
               let par =
                 (* on Stuck, flush the trace collected so far: it is the
                    diagnostic artifact CI uploads *)
-                try run_helix_obs wl ~trace:tr ~check ~strict ~jitter ~engine
+                try
+                  run_helix_obs wl ~trace:tr ~check ~strict ~jitter ?faults
+                    ~engine ()
                 with Executor.Stuck _ as e ->
                   (match (trace_sink, tr) with
                   | Some (file, oc), Some t ->
@@ -349,10 +379,21 @@ let run_cmd =
                 wl.Workload.name seq.Executor.r_cycles par.Executor.r_cycles
                 (Helix.speedup ~seq ~par)
                 (if ok then "OK" else "FAIL");
-              if check || strict || jitter <> None then
+              if check || strict || jitter <> None || faults <> None then
                 Fmt.pr
                   "robustness: %d violation(s), %d sequential fallback(s)@."
                   par.Executor.r_violations par.Executor.r_fallbacks;
+              if faults <> None then begin
+                let m k =
+                  Option.value ~default:0
+                    (Helix_obs.Metrics.find_int par.Executor.r_metrics k)
+                in
+                Fmt.pr
+                  "recovery: %d fault(s) injected, %d retransmit(s), %d \
+                   drop(s) detected, %d reknit(s)@."
+                  (m "ring.faults_injected") (m "ring.retransmits")
+                  (m "ring.drops_detected") (m "ring.reknits")
+              end;
               dump_obs par ~trace_sink ~metrics_sink tr;
               if check && not ok then begin
                 Fmt.epr "helix-rc: %s: result differs from the sequential \
@@ -362,7 +403,7 @@ let run_cmd =
               end;
               `Ok ())
       $ wl $ trace_arg $ metrics_arg $ check_arg $ strict_arg $ jitter_arg
-      $ engine_arg |> ret)
+      $ faults_arg $ engine_arg |> ret)
 
 let overhead_cmd =
   let doc = "Show the Figure-12 overhead taxonomy for one workload." in
@@ -399,7 +440,7 @@ let stats_cmd =
           in
           let par =
             run_helix_obs wl ~trace:tr ~check:false ~strict:false ~jitter:None
-              ~engine
+              ~engine ()
           in
           Fmt.pr "%s: %d cycles (%d serial, %d parallel), %d instructions@."
             wl.Workload.name par.Executor.r_cycles
@@ -431,6 +472,73 @@ let stats_cmd =
           `Ok ())
       $ wl $ trace_arg $ metrics_arg $ engine_arg |> ret)
 
+let chaos_cmd =
+  let doc =
+    "Sweep seeded lossy-ring fault schedules over the workload registry \
+     and every simulation engine, checking each run against the \
+     differential oracle.  Every run must either recover in-protocol \
+     (retransmission absorbs the faults) or fall back cleanly to \
+     sequential re-execution; a wrong result or an unexpected wedge \
+     fails the sweep (exit 1)."
+  in
+  let schedules_arg =
+    let doc = "Number of seeded fault schedules (each runs on every engine)." in
+    Arg.(value & opt int 200 & info [ "schedules" ] ~docv:"N" ~doc)
+  in
+  let seed_base_arg =
+    let doc = "First schedule seed (schedules use seeds $(docv)..$(docv)+N-1)." in
+    Arg.(value & opt int 0 & info [ "seed-base" ] ~docv:"BASE" ~doc)
+  in
+  let engine_filter_arg =
+    let doc =
+      "Restrict the sweep to one engine (legacy, event or heap); default \
+       is all three."
+    in
+    let econv =
+      Arg.conv
+        ( (fun s ->
+            match Helix_engine.Engine.kind_of_string s with
+            | Some k -> Ok k
+            | None ->
+                Error (`Msg ("unknown engine " ^ s ^ " (legacy|event|heap)"))),
+          fun ppf k -> Fmt.string ppf (Helix_engine.Engine.kind_to_string k) )
+    in
+    Arg.(value & opt (some econv) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let workload_filter_arg =
+    let doc = "Restrict the sweep to one workload; default is the registry." in
+    Arg.(value & opt (some wl_conv) None & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print every run, not just the summary and failures." in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const (fun schedules seed_base engine workload quick verbose jobs ->
+          set_jobs jobs;
+          let engines =
+            match engine with
+            | Some e -> [ e ]
+            | None -> Chaos.default_engines
+          in
+          let workloads =
+            match workload with
+            | Some w -> [ w ]
+            | None -> if quick then Registry.integer else Registry.all
+          in
+          let runs =
+            Chaos.sweep ~schedules ~engines ~workloads ~seed_base ()
+          in
+          if verbose then
+            List.iter (fun r -> Fmt.pr "%a@." Chaos.pp_run r) runs;
+          let s = Chaos.summarize runs in
+          Fmt.pr "%a@." Chaos.pp_summary s;
+          if s.Chaos.s_failures <> [] then Stdlib.exit 1;
+          `Ok ())
+      $ schedules_arg $ seed_base_arg $ engine_filter_arg
+      $ workload_filter_arg $ quick $ verbose_arg $ jobs_arg |> ret)
+
 let list_cmd =
   let doc = "List the available workload models." in
   Cmd.v (Cmd.info "list" ~doc)
@@ -449,11 +557,13 @@ let list_cmd =
       $ const () |> ret)
 
 (* Exit codes (documented in README): 1 = --check oracle failure,
-   10 = deadlock, 11 = fuel exhausted, 12 = violation under --strict. *)
+   10 = deadlock, 11 = fuel exhausted, 12 = violation under --strict,
+   13 = unrecoverable fail-stop fault. *)
 let stuck_exit_code = function
   | Executor.Deadlock -> 10
   | Executor.Fuel -> 11
   | Executor.Violation -> 12
+  | Executor.Faulted -> 13
 
 let () =
   let doc = "HELIX-RC (ISCA 2014) reproduction" in
@@ -464,7 +574,7 @@ let () =
         fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; table1_cmd; fig7_cmd;
         fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; tlp_cmd;
         ablations_cmd; all_cmd; compile_cmd; run_cmd; overhead_cmd;
-        stats_cmd; list_cmd;
+        stats_cmd; chaos_cmd; list_cmd;
       ]
   in
   (* ~catch:false so a Stuck simulation reaches this handler instead of

@@ -129,13 +129,17 @@ type result = {
 
 (* Why a run died: [Fuel] is the cycle/trip budget, [Deadlock] the
    no-retirement watchdog, [Violation] a robustness check under
-   [strict] (or one the fallback machinery could not recover from). *)
-type stuck_reason = Fuel | Deadlock | Violation
+   [strict] (or one the fallback machinery could not recover from),
+   [Faulted] an injected fail-stop the machine could neither reknit
+   around nor fall back from (core 0 died, or no checkpoint/fallback
+   was available mid-invocation). *)
+type stuck_reason = Fuel | Deadlock | Violation | Faulted
 
 let stuck_reason_name = function
   | Fuel -> "fuel"
   | Deadlock -> "deadlock"
   | Violation -> "violation"
+  | Faulted -> "fault"
 
 exception Stuck of stuck_reason * string
 
@@ -202,7 +206,7 @@ type t = {
      scheduler-visible iteration-scheduling signature of the previous
      cycle, to veto fast-forwarding across a supply-unblocking change *)
   conv_vis : int Queue.t;
-  mutable sched_sig : bool * int * int * int * int * bool;
+  mutable sched_sig : bool * int * int * int * int * bool * int;
   mutable sched_changed : bool;
   (* conventional signalling: (seg, origin) -> store cycles, in order *)
   conv_signals : (int * int, int list ref) Hashtbl.t;
@@ -220,7 +224,41 @@ type t = {
      the moment the batch is no longer provably ring-silent *)
   mutable wake_ring : at:int -> unit;
   mutable shared_poke : bool;
+  (* fail-stop state.  The compiled code bakes the lane count into the
+     iteration space: per-core privatization slots are [iter mod n]
+     (reduction partials, last-value stamps), so a reknit must keep the
+     modulus and the lane->slot mapping intact.  [owned.(c)] is the
+     sorted list of lanes core [c] currently executes: initially [[c]];
+     a dead core's lanes are adopted round-robin by the survivors
+     (balanced, lowest-loaded first), so each lane -- and hence each
+     privatization slot -- still has exactly one owner and the
+     wait/signal contract is preserved with recomputed thresholds.
+     While everyone lives the formulas below reduce bit-for-bit to the
+     fixed-n round robin.  [pending_death] is the fault plan's
+     scheduled fail-stop, consumed by the scheduler at its cycle. *)
+  alive : bool array;
+  owned : int list array;
+  mutable n_active : int;
+  mutable pending_death : (int * int) option;  (* (node, cycle) *)
 }
+
+(* Global iteration for core [c]'s [k]-th local iteration: lanes repeat
+   every [t.n] iterations, so with [m] owned lanes the worker sweeps its
+   sorted lane list once per block of [t.n].  Reduces to [k * n + c]
+   when [owned.(c) = [c]]. *)
+let iter_of_local t ~core ~local_iter =
+  let lanes = t.owned.(core) in
+  let m = List.length lanes in
+  (t.n * (local_iter / m)) + List.nth lanes (local_iter mod m)
+
+(* How many of core [c']'s iterations precede global iteration [g]:
+   whole blocks contribute all of its lanes, the partial block the lanes
+   below [g mod n].  This is the signal threshold [g]'s segments must
+   wait for from origin [c']. *)
+let iters_before t ~core:c' ~iter:g =
+  let q = g / t.n and r = g mod t.n in
+  (List.length t.owned.(c') * q)
+  + List.length (List.filter (fun l -> l < r) t.owned.(c'))
 
 let find_loop t ~func ~header =
   match t.compiled with
@@ -278,11 +316,16 @@ let route_via_ring t addr =
       else t.cfg.comm.mem_via_ring
 
 let wait_thresholds t ~core ~local_iter =
-  (* during its local iteration k, core [core] needs, from core c',
-     k + 1 signals if c' precedes it in iteration order, else k *)
+  (* before its local iteration k (global iteration g) may enter a
+     sequential segment, core [core] needs from every other live core
+     exactly as many signals as that core has iterations preceding g.
+     A dead core neither signals nor is waited on; its adopted lanes
+     count toward the adopter.  While everyone lives this is the
+     classic k / k+1 split around the core id. *)
+  let g = iter_of_local t ~core ~local_iter in
   List.init t.n (fun c' ->
-      if c' = core then None
-      else Some (c', local_iter + if c' < core then 1 else 0))
+      if c' = core || not t.alive.(c') then None
+      else Some (c', iters_before t ~core:c' ~iter:g))
   |> List.filter_map Fun.id
 
 let shared_op t ~core ~cycle ~tag (op : Uop.shared_op) : Uop.shared_outcome =
@@ -438,8 +481,10 @@ let worker_next_uop t (ps : par_state) (w : worker) =
           w.w_running_iter <- false;
           finish_iteration ~now:!(t.now) ps rv
         end;
-        (* schedule the next iteration assigned to this core *)
-        let iter = (w.w_local_iter * t.n) + w.w_core in
+        (* schedule the next iteration assigned to this core: the sweep
+           over its owned lanes (identical to core-id round-robin while
+           every core lives) *)
+        let iter = iter_of_local t ~core:w.w_core ~local_iter:w.w_local_iter in
         if can_start t ps iter then begin
           w.w_local_iter <- w.w_local_iter + 1;
           ps.ps_started <- ps.ps_started + 1;
@@ -476,6 +521,37 @@ let compute_trip (c : Parallel_loop.counted) ~init ~step ~bound =
     else k
   in
   go 0 init
+
+(* (Re)create one fresh worker per *live* core: fail-stopped cores get
+   none, so their lanes' iterations are redistributed round-robin over
+   the survivors by the lane-based assignment formula.  Also the
+   reknit-recovery path: when a core dies before a pristine invocation
+   has made any progress, respawning over the survivors restarts it
+   with a consistent wait/signal contract. *)
+let spawn_workers t =
+  for c = 0 to t.n - 1 do
+    t.workers.(c) <- None
+  done;
+  for c = 0 to t.n - 1 do
+    if t.alive.(c) then begin
+      let w =
+        {
+          w_core = c;
+          w_ctx = Context.create t.prog t.mem ~core_id:c;
+          w_local_iter = 0;
+          w_running_iter = false;
+        }
+      in
+      if t.cfg.robust.sanitize then
+        Context.set_mem_hook w.w_ctx
+          (Some
+             (fun ~seg ~addr ~write ->
+               Depcheck.record t.depcheck ~core:c
+                 ~iter:(max 0 (w.w_local_iter - 1))
+                 ~seg ~addr ~write));
+      t.workers.(c) <- Some w
+    end
+  done
 
 (* Functional bookkeeping write by the runtime itself (cell
    initialization, scratch clearing): must also invalidate ring copies. *)
@@ -552,24 +628,7 @@ let begin_parallel t (pl : Parallel_loop.t) =
   in
   Hashtbl.reset t.conv_signals;
   Queue.clear t.conv_vis;
-  for c = 0 to t.n - 1 do
-    let w =
-      {
-        w_core = c;
-        w_ctx = Context.create t.prog t.mem ~core_id:c;
-        w_local_iter = 0;
-        w_running_iter = false;
-      }
-    in
-    if t.cfg.robust.sanitize then
-      Context.set_mem_hook w.w_ctx
-        (Some
-           (fun ~seg ~addr ~write ->
-             Depcheck.record t.depcheck ~core:c
-               ~iter:(max 0 (w.w_local_iter - 1))
-               ~seg ~addr ~write));
-    t.workers.(c) <- Some w
-  done;
+  spawn_workers t;
   t.phase <-
     Parallel
       {
@@ -909,7 +968,7 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
       last_progress = 0;
       last_retired = -1;
       conv_vis = Queue.create ();
-      sched_sig = (false, 0, 0, 0, 0, false);
+      sched_sig = (false, 0, 0, 0, 0, false, n);
       sched_changed = false;
       conv_signals = Hashtbl.create 64;
       reg_cells;
@@ -920,6 +979,19 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
       violations = 0;
       wake_ring = (fun ~at:_ -> ());
       shared_poke = false;
+      alive = Array.make n true;
+      owned = Array.init n (fun c -> [ c ]);
+      n_active = n;
+      pending_death =
+        (match cfg.ring_cfg with
+        | Some rc -> (
+            match rc.Ring.faults with
+            | Some p -> (
+                match p.Ring.fl_fail_stop with
+                | Some (node, _) when node >= n -> None (* no such core *)
+                | d -> d)
+            | None -> None)
+        | None -> None);
     }
   in
   t_ref := Some t;
@@ -972,7 +1044,10 @@ let create ?(compiled : Hcc.compiled option) (cfg : config)
                          gate is safe because the scheduler publishes
                          [ps_start_cycle] as a wake-up. *)
                       (not w.w_running_iter)
-                      && not (can_start t ps ((w.w_local_iter * t.n) + w.w_core))
+                      && not
+                           (can_start t ps
+                              (iter_of_local t ~core:w.w_core
+                                 ~local_iter:w.w_local_iter))
                   | Context.Blocked | Context.Suspended _ -> true
                   | Context.Running -> false)));
     }
@@ -1003,6 +1078,24 @@ let received_for t ~core ~seg ~origin =
 let stuck_report t ~reason =
   let b = Buffer.create 4096 in
   Buffer.add_string b ("HELIX-RC stuck: " ^ reason ^ "\n");
+  if t.n_active < t.n then
+    Buffer.add_string b
+      (Printf.sprintf "  dead cores: %s (survivors %d/%d; lane ownership %s)\n"
+         (String.concat ","
+            (List.filter_map
+               (fun c -> if t.alive.(c) then None else Some (string_of_int c))
+               (List.init t.n Fun.id)))
+         t.n_active t.n
+         (String.concat " "
+            (List.filter_map
+               (fun c ->
+                 if t.alive.(c) then
+                   Some
+                     (Printf.sprintf "%d:[%s]" c
+                        (String.concat ";"
+                           (List.map string_of_int t.owned.(c))))
+                 else None)
+               (List.init t.n Fun.id))));
   (match t.phase with
   | Serial ->
       Buffer.add_string b
@@ -1082,10 +1175,95 @@ let stuck_snapshot t ~reason : Json.t =
        ("reason", Json.String reason);
        ("cycle", Json.Int !(t.now));
        ("phase", Json.String phase_name);
+       ("dead_cores", Json.Int (t.n - t.n_active));
      ]
     @ match t.ring with
       | Some r -> [ ("ring", Ring.snapshot r) ]
       | None -> [])
+
+(* ---- fail-stop processing ---- *)
+
+(* Redistribute the dead core's lanes round-robin over the survivors,
+   balanced: each lane goes to the currently lowest-loaded live core
+   (lowest id on ties).  Keeps every lane single-owner, so the compiled
+   [iter mod n] privatization slots stay exclusive. *)
+let adopt_lanes t ~dead =
+  List.iter
+    (fun lane ->
+      let best = ref (-1) in
+      for c = t.n - 1 downto 0 do
+        if
+          t.alive.(c)
+          && (!best < 0
+             || List.length t.owned.(c) <= List.length t.owned.(!best))
+        then best := c
+      done;
+      if !best >= 0 then
+        t.owned.(!best) <- List.sort compare (lane :: t.owned.(!best)))
+    t.owned.(dead);
+  t.owned.(dead) <- [];
+  t.n_active <- 0;
+  for c = 0 to t.n - 1 do
+    if t.alive.(c) then t.n_active <- t.n_active + 1
+  done
+
+(* The fault plan's scheduled fail-stop has arrived: kill the core,
+   reknit the ring around its node, and decide whether the run can
+   continue.  During the serial phase (or before an invocation makes any
+   observable progress) reknitting preserves the wait/signal contract --
+   survivors adopt the dead core's lanes and the threshold formulas
+   account for multi-lane owners.  Once an invocation has started
+   iterations or the dead core took accepted-but-unsent messages down
+   with it, the contract is broken (consumed thresholds and lockstep
+   barriers reference the old ownership map), so the invocation rolls
+   back to its checkpoint and replays sequentially; without that option
+   the run is stuck with the [Faulted] reason.  Core 0 is the serial
+   core: its death is always fatal. *)
+let process_fail_stop t ~node ~cycle =
+  t.pending_death <- None;
+  if node < t.n && t.alive.(node) then begin
+    let lost_d, lost_s =
+      match t.ring with
+      | Some r -> Ring.kill_node r ~node ~cycle
+      | None -> (0, 0)
+    in
+    t.alive.(node) <- false;
+    adopt_lanes t ~dead:node;
+    t.workers.(node) <- None;
+    if node = 0 || t.n_active = 0 then
+      raise
+        (Stuck
+           ( Faulted,
+             stuck_report t
+               ~reason:
+                 (Printf.sprintf
+                    "core 0 fail-stopped at cycle %d: no serial core \
+                     survives"
+                    cycle) ));
+    match t.phase with
+    | Serial -> () (* future invocations spawn workers over survivors *)
+    | Parallel ps ->
+        let pristine =
+          ps.ps_started = 0 && lost_d = 0 && lost_s = 0
+          && (match t.ring with Some r -> Ring.drained r | None -> true)
+        in
+        if pristine then spawn_workers t
+        else if t.cfg.robust.fallback && ps.ps_checkpoint <> None then begin
+          do_fallback t ps ~reason:"fail_stop";
+          t.last_progress <- cycle
+        end
+        else
+          raise
+            (Stuck
+               ( Faulted,
+                 stuck_report t
+                   ~reason:
+                     (Printf.sprintf
+                        "core %d fail-stopped at cycle %d mid-invocation \
+                         (started=%d lost_data=%d lost_sig=%d) and no \
+                         fallback is available"
+                        node cycle ps.ps_started lost_d lost_s) ))
+  end
 
 (* ---- main loop ---- *)
 
@@ -1093,22 +1271,31 @@ let stuck_snapshot t ~reason : Json.t =
    changed during a cycle (workers finishing iterations, conditional
    continue-prefix growth, phase transitions), another core's uop supply
    may unblock on the very next cycle, so the engine must not
-   fast-forward across it. *)
+   fast-forward across it.  [n_active] is part of the signature: a
+   fail-stop reassigns lanes, which can unblock (or create) supply on
+   every surviving core. *)
 let sched_signature t =
   match t.phase with
-  | Serial -> (false, 0, 0, 0, 0, false)
+  | Serial -> (false, 0, 0, 0, 0, false, t.n_active)
   | Parallel ps ->
       ( true,
         ps.ps_entry_cycle,
         ps.ps_started,
         ps.ps_finished,
         ps.ps_contig,
-        ps.ps_stopped )
+        ps.ps_stopped,
+        t.n_active )
 
 (* Everything the legacy loop body did besides ring/core ticks: the
    progress watchdog and the phase state machine.  Runs as the last
    engine component, in the exact position the legacy loop had it. *)
 let sched_tick t ~cycle =
+  (* scheduled fail-stop first: the death is an external event, so it
+     must be visible to everything else this cycle does (watchdog,
+     phase machinery) *)
+  (match t.pending_death with
+  | Some (node, at) when cycle >= at -> process_fail_stop t ~node ~cycle
+  | _ -> ());
   (* progress watchdog over the monotonic retirement counter *)
   let retired = !(t.total_retired) in
   if retired <> t.last_retired || cycle < t.serial_stall_until then begin
@@ -1177,6 +1364,11 @@ let sched_next_event t ~now =
     (match t.phase with
     | Parallel ps -> if ps.ps_start_cycle >= now then add ps.ps_start_cycle
     | Serial -> ());
+    (* a scheduled fail-stop is a hard wake-up: the engines must not
+       fast-forward across the death cycle *)
+    (match t.pending_death with
+    | Some (_, at) -> add (max now at)
+    | None -> ());
     (* conventional-mode signal visibility boundaries *)
     let rec conv () =
       match Queue.peek_opt t.conv_vis with
@@ -1368,6 +1560,7 @@ let run ?compiled (cfg : config) (prog : Ir.program) (mem : Memory.t) : result
     Metrics.set_int m "exec.max_outstanding_signals" t.max_outstanding;
     Metrics.set_int m "exec.fallbacks" t.fallbacks;
     Metrics.set_int m "exec.violations" t.violations;
+    Metrics.set_int m "exec.dead_cores" (t.n - t.n_active);
     Metrics.set_int m "exec.retired" total_retired;
     (* engine-specific counters: excluded from cross-engine metric
        comparisons (everything else must be bit-identical) *)

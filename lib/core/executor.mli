@@ -110,16 +110,22 @@ type result = {
 
 (** Why a run died: [Fuel] is the cycle/trip budget, [Deadlock] the
     no-retirement watchdog, [Violation] a robustness check under
-    [strict] (or one the fallback machinery could not recover from). *)
-type stuck_reason = Fuel | Deadlock | Violation
+    [strict] (or one the fallback machinery could not recover from),
+    [Faulted] an injected fail-stop the machine could neither reknit
+    around (survivors taking over the dead core's iterations) nor roll
+    back from — core 0 died, or a mid-invocation death found no
+    checkpoint/fallback.  Names: ["fuel"], ["deadlock"], ["violation"],
+    ["fault"]. *)
+type stuck_reason = Fuel | Deadlock | Violation | Faulted
 
 val stuck_reason_name : stuck_reason -> string
 
 exception Stuck of stuck_reason * string
 (** The string payload is a full report: loop/phase scheduling counters,
-    every worker's context state and per-segment wait targets (signals
-    expected vs received from each origin), and the complete ring
-    snapshot (all nodes' signal buffers, lockstep acceptance vectors,
+    dead cores (if any), every worker's context state and per-segment
+    wait targets (signals expected vs received from each origin), and
+    the complete ring snapshot (all nodes' signal buffers, lockstep
+    acceptance vectors, per-class in-flight and fault-recovery counters,
     link occupancy). *)
 
 val run :

@@ -180,26 +180,32 @@ let conventional_cfg ?(mach = Mach_config.default) ?engine () =
   Executor.default_config ~ring:false ~comm:Executor.fully_coupled ?engine mach
 
 let helix_cfg ?(mach = Mach_config.default) ?trace ?robust ?jitter_seed
-    ?engine () =
+    ?faults ?engine () =
   let cfg =
     Executor.default_config ~ring:true ~comm:Executor.fully_decoupled ?trace
       ?robust ?engine mach
   in
-  match jitter_seed with
+  let with_ring f cfg =
+    { cfg with
+      Executor.ring_cfg = Option.map f cfg.Executor.ring_cfg }
+  in
+  let cfg =
+    match jitter_seed with
+    | None -> cfg
+    | Some seed ->
+        with_ring
+          (fun rc ->
+            { rc with
+              Helix_ring.Ring.perturb = Some (Helix_ring.Ring.perturbed ~seed ())
+            })
+          cfg
+  in
+  match faults with
   | None -> cfg
-  | Some seed ->
-      {
-        cfg with
-        Executor.ring_cfg =
-          Option.map
-            (fun rc ->
-              {
-                rc with
-                Helix_ring.Ring.perturb =
-                  Some (Helix_ring.Ring.perturbed ~seed ());
-              })
-            cfg.Executor.ring_cfg;
-      }
+  | Some plan ->
+      with_ring
+        (fun rc -> { rc with Helix_ring.Ring.faults = Some plan })
+        cfg
 
 (* Conventional run of a version's code (HCCv1/v2 always run here). *)
 let run_conventional wl version =

@@ -141,3 +141,18 @@ let oracle_result t ~cycle ~loop ~ok ~detail =
   emit t ~cycle ~kind:"oracle_result"
     [ ("loop", Json.Int loop); ("ok", Json.Bool ok);
       ("detail", Json.String detail) ]
+
+let fault t ~cycle ~fclass ~link ~wire ~hop =
+  emit t ~cycle ~kind:"fault"
+    [ ("fclass", Json.String fclass); ("link", Json.Int link);
+      ("wire", Json.String wire); ("hop", Json.Int hop) ]
+
+let retransmit t ~cycle ~node ~wire ~count ~attempt =
+  emit t ~cycle ~kind:"retransmit"
+    [ ("node", Json.Int node); ("wire", Json.String wire);
+      ("count", Json.Int count); ("attempt", Json.Int attempt) ]
+
+let reknit t ~cycle ~node ~lost_data ~lost_sig =
+  emit t ~cycle ~kind:"reknit"
+    [ ("node", Json.Int node); ("lost_data", Json.Int lost_data);
+      ("lost_sig", Json.Int lost_sig) ]

@@ -87,3 +87,25 @@ val fallback :
 val oracle_result :
   t option -> cycle:int -> loop:int -> ok:bool -> detail:string -> unit
 (** Differential-oracle verdict for one parallel invocation. *)
+
+val fault :
+  t option ->
+  cycle:int -> fclass:string -> link:int -> wire:string -> hop:int -> unit
+(** The seeded fault plan injected a fault on a link send; [fclass] is
+    ["drop"], ["dup"], ["reorder"], ["corrupt"] or ["fail_stop"] (for
+    which [link] is the dying node, [wire] is ["core"] and [hop] is
+    [-1]); for the message classes [wire] is ["data"] or ["sig"]. *)
+
+val retransmit :
+  t option ->
+  cycle:int -> node:int -> wire:string -> count:int -> attempt:int -> unit
+(** [node]'s per-link retransmission timer expired: [count] unacked
+    messages were resent on its outgoing [wire] link ([attempt] grows
+    the exponential backoff). *)
+
+val reknit :
+  t option ->
+  cycle:int -> node:int -> lost_data:int -> lost_sig:int -> unit
+(** The ring routed around fail-stopped [node] (its predecessor now
+    forwards past it); [lost_data]/[lost_sig] count injection-queue
+    messages that died with the node's core. *)

@@ -10,11 +10,14 @@
     store, implementing "signals move in lockstep with forwarded
     data". *)
 
-(** Deterministic fault-injection jitter: bounded extra delays hashed
-    purely from [(seed, cycle, node, salt)].  Every ring queue is FIFO
-    and delivery only pops heads, so jitter can delay traffic but never
-    reorder it — architectural results must be invariant under any
-    seed. *)
+(** Deterministic timing jitter: bounded extra {e delays} hashed purely
+    from [(seed, cycle, node, salt)].  Delay is the mildest fault class —
+    every ring queue is FIFO and delivery only pops heads, so jitter can
+    delay traffic but never lose, repeat or reorder it, and architectural
+    results must be invariant under any seed with no recovery machinery.
+    The five lossy classes (drop / duplicate / reorder / corrupt /
+    fail-stop) live in {!fault_plan} and engage the retransmission
+    protocol. *)
 type perturbation = {
   pj_seed : int;
   pj_link_max : int;    (** extra cycles per hop, uniform in [0, max] *)
@@ -26,6 +29,35 @@ val perturbed :
   ?link_max:int -> ?inject_max:int -> ?signal_max:int -> seed:int -> unit ->
   perturbation
 (** Perturbation with small bounded defaults (2/3/2 cycles). *)
+
+(** Lossy-ring fault schedule: per-mille per-link-send rates for the four
+    message-level classes plus an optional fail-stop event.  Faults
+    attack wire copies only; the recovery protocol (per-hop sequence
+    numbers, payload checksums, go-back-N retransmission with cumulative
+    acks and exponential backoff) delivers the identical message sequence
+    to every node, so any plan perturbs timing but never architectural
+    results — fail-stop excepted, which the executor handles by
+    reknitting or falling back. *)
+type fault_plan = {
+  fl_seed : int;
+  fl_drop : int;     (** per-mille probability per link send *)
+  fl_dup : int;
+  fl_reorder : int;
+  fl_corrupt : int;
+  fl_fail_stop : (int * int) option;  (** [(node, cycle)]: core dies *)
+}
+
+val faulty :
+  ?drop:int -> ?dup:int -> ?reorder:int -> ?corrupt:int ->
+  ?fail_stop:int * int -> seed:int -> unit -> fault_plan
+(** Rates clamp to [0..1000] per mille; all default to 0. *)
+
+val fault_plan_of_string : string -> (fault_plan, string) result
+(** Parse a spec like ["seed=42,drop=5,dup=3,reorder=2,corrupt=1,kill=3@50000"]
+    (comma-separated [key=value]; rates per mille; [kill=NODE@CYCLE]). *)
+
+val fault_plan_to_string : fault_plan -> string
+(** Round-trips through {!fault_plan_of_string}; zero rates omitted. *)
 
 type config = {
   n_nodes : int;
@@ -41,13 +73,14 @@ type config = {
   greedy_sig_inject : bool;  (** ablation: signal wires inject with
                                  leftover bandwidth *)
   flush_invalidates : bool;  (** ablation: flush drops clean copies *)
-  perturb : perturbation option;  (** seeded fault-injection jitter *)
+  perturb : perturbation option;  (** seeded delay jitter (lossless) *)
+  faults : fault_plan option;     (** seeded lossy-ring fault schedule *)
 }
 
 val default_config : n_nodes:int -> config
 (** The paper's default: 1-cycle links, 1-word data / 5-signal bandwidth,
-    2-cycle injection, 1KB 8-way single-word-line arrays, no
-    perturbation. *)
+    2-cycle injection, 1KB 8-way single-word-line arrays, no perturbation
+    and no faults. *)
 
 (** Callbacks into the rest of the memory system. *)
 type env = {
@@ -92,8 +125,23 @@ val max_outstanding_signals : t -> int
 (** {1 Clocking and maintenance} *)
 
 val tick : t -> cycle:int -> unit
-(** Advance the network one cycle: deliver arrived messages, forward with
-    priority over injection (strictly on the data wires), inject. *)
+(** Advance the network one cycle: deliver arrived messages (with a fault
+    plan active, validating checksums and per-hop sequence numbers and
+    discarding corrupt/duplicate/out-of-order copies), learn acks and
+    fire expired retransmission timers, then forward with priority over
+    injection (strictly on the data wires) and inject.  Fail-stopped
+    nodes act as repeaters: they forward and retire but never apply. *)
+
+val kill_node : t -> node:int -> cycle:int -> int * int
+(** Fail-stop [node]'s core and reknit the ring around it (the node
+    degrades to a repeater; in-flight traffic still transits and
+    retires).  Returns [(lost_data, lost_sig)] — injection-queue messages
+    that died with the core and left the in-flight accounting.  Nonzero
+    losses mean the current invocation's wait/signal contract may be
+    broken and the caller must fall back.  Idempotent. *)
+
+val node_dead : t -> node:int -> bool
+val dead_nodes : t -> int
 
 val next_event : t -> now:int -> int option
 (** Event-engine contract: [Some c] (c >= now) promises that ticking the
@@ -103,7 +151,11 @@ val next_event : t -> now:int -> int option
     hierarchical: each node publishes a local "empty until c" (stall
     release, injection readiness, lockstep-held heads deferred to the
     data events that release them) and the ring-wide promise is the
-    roll-up minimum, together with link-head arrival cycles. *)
+    roll-up minimum, together with link-head arrival cycles.  With a
+    fault plan active, retransmission deadlines and pending-ack learn
+    cycles are wake sources too (even when nothing is logically in
+    flight), so recovery timers participate in idle-cycle skipping
+    instead of requiring per-cycle polling. *)
 
 val tick_changed : t -> bool
 (** Did the last {!tick} move or retire any message?  Used by the heap
@@ -140,9 +192,23 @@ val dist_histogram : t -> int array
 val consumers_histogram : t -> int array
 val ring_hit_rate : t -> float
 
+(** {1 Recovery-protocol counters} *)
+
+val retransmits : t -> int
+val drops_detected : t -> int
+val dups_detected : t -> int
+val corrupts_detected : t -> int
+val faults_injected : t -> int
+val reknits : t -> int
+
+val inflight_counts : t -> int * int
+(** [(inflight_data, inflight_sig)]: the O(1) per-class quiescence
+    roll-up, exposed for diagnostics. *)
+
 val describe : t -> string
-(** Complete diagnostic dump: {e every} node's sigbuf, queue occupancy
-    and lockstep state, plus every occupied link. *)
+(** Complete diagnostic dump: the per-class in-flight roll-up and fault
+    counters first, then {e every} node's sigbuf, queue occupancy and
+    lockstep state (dead nodes marked), plus every occupied link. *)
 
 val snapshot : t -> Helix_obs.Json.t
 (** Structured form of {!describe} for machine-readable stuck reports. *)

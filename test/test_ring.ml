@@ -625,6 +625,189 @@ let prop_circulation =
 
 let props = [ QCheck_alcotest.to_alcotest prop_circulation ]
 
+(* ---- lossy-ring fault protocol ------------------------------------------ *)
+
+(* A ring whose every link send is attacked by the given plan. *)
+let mk_faulty ?(n = 4) plan () =
+  mk_ring ~n ~cfg_f:(fun c -> { c with Ring.faults = Some plan }) ()
+
+(* Drive [stores] through [r] (retrying on injection back-pressure),
+   then tick until drained (bounded), and return the cycle reached. *)
+let push_and_drain r stores =
+  let c = ref 0 in
+  List.iter
+    (fun (node, addr, value) ->
+      while not (Ring.try_store r ~node ~addr ~value ~cycle:!c) do
+        Ring.tick r ~cycle:!c;
+        incr c
+      done;
+      Ring.tick r ~cycle:!c;
+      incr c)
+    stores;
+  let budget = ref 50_000 in
+  while (not (Ring.drained r)) && !budget > 0 do
+    Ring.tick r ~cycle:!c;
+    incr c;
+    decr budget
+  done;
+  (* a few extra ticks so stale retransmission timers expire quietly *)
+  for _ = 1 to 16 do
+    Ring.tick r ~cycle:!c;
+    incr c
+  done;
+  Alcotest.(check bool) "drained under faults" true (Ring.drained r);
+  !c
+
+let all_nodes_see r ~n ~addr ~value ~cycle =
+  for node = 0 to n - 1 do
+    check Alcotest.int
+      (Fmt.str "node %d sees %d" node addr)
+      value
+      (fst (Ring.load r ~node ~addr ~cycle))
+  done
+
+let fault_tests =
+  [
+    tc "fault plan round-trips through its string form" (fun () ->
+        let p =
+          Ring.faulty ~drop:5 ~dup:3 ~reorder:2 ~corrupt:1
+            ~fail_stop:(3, 50_000) ~seed:42 ()
+        in
+        (match Ring.fault_plan_of_string (Ring.fault_plan_to_string p) with
+        | Ok p' -> Alcotest.(check bool) "round-trip" true (p = p')
+        | Error m -> Alcotest.fail m);
+        (match Ring.fault_plan_of_string "drop=1001" with
+        | Ok _ -> Alcotest.fail "rate out of range accepted"
+        | Error _ -> ());
+        (match Ring.fault_plan_of_string "kill=3" with
+        | Ok _ -> Alcotest.fail "kill without @CYCLE accepted"
+        | Error _ -> ());
+        match Ring.fault_plan_of_string "frob=1" with
+        | Ok _ -> Alcotest.fail "unknown key accepted"
+        | Error _ -> ());
+    tc "zero-rate plan is exact: no faults, no retransmits" (fun () ->
+        let r = mk_faulty (Ring.faulty ~seed:9 ()) () in
+        let c = push_and_drain r [ (0, 64, 7); (1, 72, 8); (2, 80, 9) ] in
+        all_nodes_see r ~n:4 ~addr:64 ~value:7 ~cycle:c;
+        check Alcotest.int "faults" 0 (Ring.faults_injected r);
+        check Alcotest.int "retransmits" 0 (Ring.retransmits r));
+    tc "heavy drops: retransmission still delivers everywhere" (fun () ->
+        let r = mk_faulty (Ring.faulty ~drop:300 ~seed:1 ()) () in
+        let c = push_and_drain r [ (0, 64, 1); (1, 72, 2); (3, 80, 3) ] in
+        all_nodes_see r ~n:4 ~addr:64 ~value:1 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:72 ~value:2 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:80 ~value:3 ~cycle:c;
+        Alcotest.(check bool) "dropped something" true
+          (Ring.faults_injected r > 0);
+        Alcotest.(check bool) "retransmitted" true (Ring.retransmits r > 0));
+    tc "duplicates are discarded by the hop-sequence check" (fun () ->
+        let r = mk_faulty (Ring.faulty ~dup:400 ~seed:2 ()) () in
+        let c = push_and_drain r [ (0, 64, 5); (2, 72, 6) ] in
+        all_nodes_see r ~n:4 ~addr:64 ~value:5 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:72 ~value:6 ~cycle:c;
+        Alcotest.(check bool) "dups detected" true (Ring.dups_detected r > 0));
+    tc "corruption is caught by the checksum and retransmitted" (fun () ->
+        let r = mk_faulty (Ring.faulty ~corrupt:300 ~seed:3 ()) () in
+        let c = push_and_drain r [ (0, 64, 11); (1, 72, 12) ] in
+        all_nodes_see r ~n:4 ~addr:64 ~value:11 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:72 ~value:12 ~cycle:c;
+        Alcotest.(check bool) "corrupts detected" true
+          (Ring.corrupts_detected r > 0));
+    tc "reordering cannot reorder acceptance (go-back-N in-order)" (fun () ->
+        (* two stores to the same address from the same node: the second
+           must win at every node no matter how the wires shuffle *)
+        let r = mk_faulty (Ring.faulty ~reorder:400 ~seed:4 ()) () in
+        let c = push_and_drain r [ (0, 64, 1); (0, 64, 2); (0, 64, 3) ] in
+        all_nodes_see r ~n:4 ~addr:64 ~value:3 ~cycle:c);
+    tc "all four classes at once converge to the truth" (fun () ->
+        let r =
+          mk_faulty
+            (Ring.faulty ~drop:120 ~dup:120 ~reorder:120 ~corrupt:120 ~seed:5
+               ())
+            ()
+        in
+        (* each node repeatedly writes its own address: per-source
+           in-order delivery makes the last value the winner everywhere
+           (cross-node write ordering is the wait/signal protocol's job,
+           not the ring's) *)
+        let stores =
+          List.init 12 (fun i -> (i mod 4, 64 + (8 * (i mod 4)), 100 + i))
+        in
+        let c = push_and_drain r stores in
+        all_nodes_see r ~n:4 ~addr:64 ~value:108 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:72 ~value:109 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:80 ~value:110 ~cycle:c;
+        all_nodes_see r ~n:4 ~addr:88 ~value:111 ~cycle:c;
+        Alcotest.(check bool) "injected faults" true
+          (Ring.faults_injected r > 0));
+    tc "fault-free ring and zero-rate faulty ring agree message-for-message"
+      (fun () ->
+        let stores = List.init 8 (fun i -> (i mod 4, 64 + (8 * i), i)) in
+        let a = mk_ring () in
+        let ca = push_and_drain a stores in
+        let b = mk_faulty (Ring.faulty ~seed:77 ()) () in
+        let cb = push_and_drain b stores in
+        check Alcotest.int "same drain cycle" ca cb;
+        List.iter
+          (fun (_, addr, v) ->
+            all_nodes_see a ~n:4 ~addr ~value:v ~cycle:ca;
+            all_nodes_see b ~n:4 ~addr ~value:v ~cycle:cb)
+          stores);
+    tc "kill_node: dead node forwards and retires but never applies"
+      (fun () ->
+        let r = mk_ring () in
+        let lost_d, lost_s = Ring.kill_node r ~node:2 ~cycle:0 in
+        check Alcotest.int "no data lost at rest" 0 lost_d;
+        check Alcotest.int "no sig lost at rest" 0 lost_s;
+        Alcotest.(check bool) "dead" true (Ring.node_dead r ~node:2);
+        check Alcotest.int "dead count" 1 (Ring.dead_nodes r);
+        check Alcotest.int "reknits" 1 (Ring.reknits r);
+        (* idempotent *)
+        ignore (Ring.kill_node r ~node:2 ~cycle:1);
+        check Alcotest.int "still one reknit" 1 (Ring.reknits r);
+        ignore (Ring.try_store r ~node:0 ~addr:64 ~value:9 ~cycle:1);
+        tick_n r ~from:1 40;
+        Alcotest.(check bool) "drained through the dead node" true
+          (Ring.drained r);
+        (* survivors see the store; the dead node's array was never
+           updated, so its local copy (a miss served by the owner path)
+           still resolves to the authoritative value *)
+        all_nodes_see r ~n:4 ~addr:64 ~value:9 ~cycle:60);
+    tc "kill_node reports in-flight injections as losses" (fun () ->
+        let r = mk_ring () in
+        ignore (Ring.try_store r ~node:2 ~addr:64 ~value:9 ~cycle:0);
+        (* no tick: the message is still in node 2's injection queue *)
+        let lost_d, _ = Ring.kill_node r ~node:2 ~cycle:0 in
+        check Alcotest.int "lost the queued store" 1 lost_d;
+        tick_n r ~from:0 40;
+        Alcotest.(check bool) "accounting still drains" true (Ring.drained r));
+    tc "describe and snapshot expose in-flight and fault counters" (fun () ->
+        let r = mk_faulty (Ring.faulty ~drop:200 ~seed:6 ()) () in
+        ignore (Ring.try_store r ~node:0 ~addr:64 ~value:1 ~cycle:0);
+        Ring.tick r ~cycle:0;
+        let d = Ring.describe r in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "describe has inflight" true
+          (contains d "inflight: data=");
+        let infl_d, infl_s = Ring.inflight_counts r in
+        Alcotest.(check bool) "inflight data positive" true (infl_d >= 1);
+        check Alcotest.int "inflight sig zero" 0 infl_s;
+        match Ring.snapshot r with
+        | Helix_obs.Json.Obj kvs ->
+            List.iter
+              (fun k ->
+                Alcotest.(check bool) k true (List.mem_assoc k kvs))
+              [ "inflight_data"; "inflight_sig"; "retransmits";
+                "drops_detected"; "faults_injected"; "reknits" ]
+        | _ -> Alcotest.fail "snapshot not an object");
+  ]
+
 let () =
   Alcotest.run "ring"
     [
@@ -635,5 +818,6 @@ let () =
       ("ring", ring_tests);
       ("regressions", regression_tests);
       ("fault-injection", jitter_tests);
+      ("fault-protocol", fault_tests);
       ("properties", props);
     ]

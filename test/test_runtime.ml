@@ -381,7 +381,7 @@ let double_signals (compiled : Hcc.compiled) =
 
 (* Run a deliberately mutilated compile of [s] under [robust] and return
    (golden, result, trace). *)
-let run_mutilated ?(watchdog = max_int) ~robust ~mutate s =
+let run_mutilated ?(watchdog = max_int) ?engine ~robust ~mutate s =
   let tr = Helix_obs.Trace.create () in
   let gp, _ = s.prog () in
   let g = Helix.golden_run gp (Memory.create ()) in
@@ -390,7 +390,8 @@ let run_mutilated ?(watchdog = max_int) ~robust ~mutate s =
   mutate compiled;
   let cfg =
     {
-      (Executor.default_config ~trace:tr ~robust Mach_config.default) with
+      (Executor.default_config ~trace:tr ~robust ?engine Mach_config.default)
+      with
       Executor.watchdog_cycles = watchdog;
     }
   in
@@ -518,6 +519,229 @@ let robustness_tests =
           [ s_hist; s_quadratic; s_conditional ]);
   ]
 
+(* ---- robustness under the event-driven engines -------------------------- *)
+
+(* The PR-2 fallback machinery was written against the legacy
+   cycle-stepped loop; these pin it under the heap engine specifically
+   (watchdog wedges and sanitizer rollbacks must survive idle-cycle
+   skipping and serial-phase interpret-ahead) and assert engine parity. *)
+let engine_fallback_tests =
+  [
+    tc "stripped waits: sanitizer fallback repairs under the heap engine"
+      (fun () ->
+        let g, par, tr =
+          run_mutilated ~engine:Helix_engine.Engine.Heap
+            ~robust:Executor.checked ~mutate:strip_waits s_hist
+        in
+        let v = Helix.verify g par in
+        Alcotest.(check bool) ("repaired: " ^ v.Helix.detail) true v.Helix.ok;
+        check_incident_visible ~name:"heap stripped waits" par tr);
+    tc "stripped signals: watchdog wedge falls back under the heap engine"
+      (fun () ->
+        let g, par, tr =
+          run_mutilated ~watchdog:20_000 ~engine:Helix_engine.Engine.Heap
+            ~robust:Executor.checked ~mutate:strip_signals s_hist
+        in
+        let v = Helix.verify g par in
+        Alcotest.(check bool) ("repaired: " ^ v.Helix.detail) true v.Helix.ok;
+        Alcotest.(check bool) "at least one fallback" true
+          (par.Executor.r_fallbacks >= 1);
+        Alcotest.(check bool) "fallback event traced" true
+          (List.mem "fallback" (event_kinds tr)));
+    tc "fallback runs are bit-identical across the three engines" (fun () ->
+        let runs =
+          List.map
+            (fun engine ->
+              let _, par, _ =
+                run_mutilated ~engine ~robust:Executor.checked
+                  ~mutate:strip_waits s_hist
+              in
+              (par.Executor.r_cycles, par.Executor.r_retired,
+               par.Executor.r_fallbacks))
+            [ Helix_engine.Engine.Legacy; Helix_engine.Engine.Event;
+              Helix_engine.Engine.Heap ]
+        in
+        match runs with
+        | x :: rest ->
+            List.iter
+              (fun y ->
+                Alcotest.(check bool) "engine parity on the fallback path"
+                  true (x = y))
+              rest
+        | [] -> assert false);
+  ]
+
+(* ---- lossy-ring faults and fail-stop recovery --------------------------- *)
+
+let all_engines =
+  [ Helix_engine.Engine.Legacy; Helix_engine.Engine.Event;
+    Helix_engine.Engine.Heap ]
+
+(* Run scenario [s] with fault plan [plan] wired into the ring config. *)
+let run_faulty ?(robust = Executor.no_robustness) ?engine
+    ?(watchdog = 200_000) ~plan s =
+  let tr = Helix_obs.Trace.create () in
+  let gp, _ = s.prog () in
+  let g = Helix.golden_run gp (Memory.create ()) in
+  let cp, layout = s.prog () in
+  let compiled = compile_v3 (cp, layout) in
+  let cfg =
+    let c =
+      Executor.default_config ~trace:tr ~robust ?engine Mach_config.default
+    in
+    {
+      c with
+      Executor.watchdog_cycles = watchdog;
+      ring_cfg =
+        Option.map
+          (fun rc -> { rc with Helix_ring.Ring.faults = Some plan })
+          c.Executor.ring_cfg;
+    }
+  in
+  let par =
+    Executor.run ~compiled cfg compiled.Hcc.cp_prog (Memory.create ())
+  in
+  (g, par, tr)
+
+let metric par k =
+  Option.value ~default:0
+    (Helix_obs.Metrics.find_int par.Executor.r_metrics k)
+
+(* A cycle guaranteed to be inside a parallel invocation, from a clean
+   traced run: just after the first loop_enter. *)
+let mid_invocation_cycle s =
+  let _, _, tr = run_faulty ~plan:(Helix_ring.Ring.faulty ~seed:0 ()) s in
+  let enter =
+    List.find
+      (fun e -> e.Helix_obs.Trace.ev_kind = "loop_enter")
+      (Helix_obs.Trace.events tr)
+  in
+  enter.Helix_obs.Trace.ev_cycle + 40
+
+let fault_recovery_tests =
+  [
+    tc "message faults recover in-protocol: no fallback, correct result"
+      (fun () ->
+        List.iter
+          (fun engine ->
+            let plan =
+              Helix_ring.Ring.faulty ~drop:60 ~dup:40 ~reorder:40 ~corrupt:40
+                ~seed:71 ()
+            in
+            let g, par, _ =
+              run_faulty ~robust:Executor.checked ~engine ~plan s_hist
+            in
+            let v = Helix.verify g par in
+            Alcotest.(check bool) ("verified: " ^ v.Helix.detail) true
+              v.Helix.ok;
+            check Alcotest.int "no violations" 0 par.Executor.r_violations;
+            check Alcotest.int "no fallbacks" 0 par.Executor.r_fallbacks;
+            Alcotest.(check bool) "faults actually injected" true
+              (metric par "ring.faults_injected" > 0);
+            Alcotest.(check bool) "retransmissions happened" true
+              (metric par "ring.retransmits" > 0))
+          all_engines);
+    tc "the same fault schedule is bit-identical on every engine" (fun () ->
+        let plan =
+          Helix_ring.Ring.faulty ~drop:50 ~dup:30 ~reorder:30 ~corrupt:30
+            ~seed:5 ()
+        in
+        let runs =
+          List.map
+            (fun engine ->
+              let _, par, _ = run_faulty ~engine ~plan s_hist in
+              (par.Executor.r_cycles, par.Executor.r_retired,
+               metric par "ring.faults_injected",
+               metric par "ring.retransmits"))
+            all_engines
+        in
+        match runs with
+        | x :: rest ->
+            List.iter
+              (fun y ->
+                Alcotest.(check bool) "faulty-run engine parity" true (x = y))
+              rest
+        | [] -> assert false);
+    tc "a zero-rate plan changes nothing: same cycles as no plan at all"
+      (fun () ->
+        let _, _, base = run_scenario s_hist in
+        let _, par, _ =
+          run_faulty ~plan:(Helix_ring.Ring.faulty ~seed:123 ()) s_hist
+        in
+        check Alcotest.int "same cycle count" base.Executor.r_cycles
+          par.Executor.r_cycles;
+        check Alcotest.int "no faults" 0 (metric par "ring.faults_injected");
+        check Alcotest.int "no retransmits" 0 (metric par "ring.retransmits"));
+    tc "serial-phase fail-stop: survivors adopt the lanes, no fallback"
+      (fun () ->
+        (* no robustness machinery at all: correctness must come from the
+           reknit itself (lane adoption keeps the compiled [iter mod n]
+           privatization slots single-owner) *)
+        List.iter
+          (fun engine ->
+            let plan =
+              Helix_ring.Ring.faulty ~fail_stop:(3, 2) ~seed:1 ()
+            in
+            let g, par, tr = run_faulty ~engine ~plan s_hist in
+            let v = Helix.verify g par in
+            Alcotest.(check bool)
+              ("verified over 15 survivors: " ^ v.Helix.detail)
+              true v.Helix.ok;
+            check Alcotest.int "no fallbacks" 0 par.Executor.r_fallbacks;
+            check Alcotest.int "one reknit" 1 (metric par "ring.reknits");
+            check Alcotest.int "one dead core" 1 (metric par "exec.dead_cores");
+            Alcotest.(check bool) "reknit event traced" true
+              (List.mem "reknit" (event_kinds tr)))
+          all_engines);
+    tc "serial-phase fail-stop verifies on every scenario" (fun () ->
+        List.iter
+          (fun s ->
+            let plan =
+              Helix_ring.Ring.faulty ~fail_stop:(5, 2) ~seed:2 ()
+            in
+            let g, par, _ = run_faulty ~plan s in
+            let v = Helix.verify g par in
+            Alcotest.(check bool) (s.name ^ ": " ^ v.Helix.detail) true
+              v.Helix.ok;
+            check Alcotest.int (s.name ^ ": no fallbacks") 0
+              par.Executor.r_fallbacks)
+          scenarios);
+    tc "mid-invocation fail-stop rolls back to the checkpoint" (fun () ->
+        let at = mid_invocation_cycle s_hist in
+        let plan = Helix_ring.Ring.faulty ~fail_stop:(2, at) ~seed:3 () in
+        let g, par, tr =
+          run_faulty ~robust:Executor.checked ~plan s_hist
+        in
+        let v = Helix.verify g par in
+        Alcotest.(check bool) ("verified: " ^ v.Helix.detail) true v.Helix.ok;
+        Alcotest.(check bool) "fell back at least once" true
+          (par.Executor.r_fallbacks >= 1);
+        check Alcotest.int "one reknit" 1 (metric par "ring.reknits");
+        Alcotest.(check bool) "fail_stop fallback traced" true
+          (List.exists
+             (fun e ->
+               e.Helix_obs.Trace.ev_kind = "fallback"
+               && List.assoc_opt "reason" e.Helix_obs.Trace.ev_fields
+                  = Some (Helix_obs.Json.String "fail_stop"))
+             (Helix_obs.Trace.events tr)));
+    tc "mid-invocation fail-stop without fallback is Stuck Faulted" (fun () ->
+        let at = mid_invocation_cycle s_hist in
+        let plan = Helix_ring.Ring.faulty ~fail_stop:(2, at) ~seed:4 () in
+        match run_faulty ~plan s_hist with
+        | exception Executor.Stuck (Executor.Faulted, report) ->
+            Alcotest.(check bool) "report names the dead core" true
+              (String.length report > 0)
+        | _ -> Alcotest.fail "expected Stuck Faulted without a checkpoint");
+    tc "core 0 fail-stop is always fatal" (fun () ->
+        let plan = Helix_ring.Ring.faulty ~fail_stop:(0, 2) ~seed:5 () in
+        match run_faulty ~robust:Executor.checked ~plan s_hist with
+        | exception Executor.Stuck (Executor.Faulted, _) -> ()
+        | exception Executor.Stuck (r, _) ->
+            Alcotest.fail
+              ("wrong stuck reason: " ^ Executor.stuck_reason_name r)
+        | _ -> Alcotest.fail "expected Stuck Faulted for core 0");
+  ]
+
 (* ---- dependence sanitizer unit tests ------------------------------------ *)
 
 let depcheck_tests =
@@ -634,6 +858,8 @@ let () =
       ("invariants", invariant_tests);
       ("fault-injection", fault_tests);
       ("robustness", robustness_tests);
+      ("engine-fallback", engine_fallback_tests);
+      ("fault-recovery", fault_recovery_tests);
       ("depcheck", depcheck_tests);
       ("context", context_tests);
     ]
